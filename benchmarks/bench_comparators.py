@@ -1,0 +1,97 @@
+"""Bench: related-work comparators in the design space.
+
+The paper's related work positions the hybrids against Dragonfly,
+Jellyfish and (the authors' own) thin trees.  This bench runs the full
+seven-family line-up on representative traffic and verifies the
+qualitative properties the paper attributes to each family:
+
+* the dragonfly collapses under unbalanced group-to-group traffic,
+* jellyfish tracks the fattree on random traffic at equal switch count,
+* a 2:1 thin tree halves the upper-stage hardware for a bounded slowdown
+  on global traffic and none on local traffic.
+
+Results land in ``benchmarks/results/comparators.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_ENDPOINTS, write_result
+from repro import build_topology, build_workload, simulate
+from repro.engine.flows import FlowBuilder
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+_LINES: list[str] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    yield
+    write_result("comparators.txt", "\n".join(_LINES))
+
+
+def _block_adversarial(n: int, block: int = 32) -> FlowBuilder:
+    b = FlowBuilder(n)
+    for i in range(n):
+        b.add_flow(i, (i + block) % n, CAP / 50)
+    return b
+
+
+@pytest.mark.benchmark(group="comparators")
+def test_dragonfly_unbalanced_pathology(benchmark):
+    n = BENCH_ENDPOINTS
+    flows = _block_adversarial(n).build()
+
+    def run():
+        return {name: simulate(build_topology(name, n), flows,
+                               fidelity="approx").makespan
+                for name in ("dragonfly", "fattree")}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = times["dragonfly"] / times["fattree"]
+    _LINES.append(f"[dragonfly] block-adversarial: {ratio:.1f}x the fattree "
+                  f"('pathological scenarios ... with unbalanced loads')")
+    assert ratio > 4.0
+
+
+@pytest.mark.benchmark(group="comparators")
+def test_jellyfish_tracks_fattree_on_random_traffic(benchmark):
+    n = BENCH_ENDPOINTS
+    flows = build_workload("unstructuredapp", n, seed=0).build()
+
+    def run():
+        return {name: simulate(build_topology(name, n), flows,
+                               fidelity="approx").makespan
+                for name in ("jellyfish", "fattree", "torus")}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = times["jellyfish"] / times["fattree"]
+    _LINES.append(f"[jellyfish] random traffic: {ratio:.2f}x the fattree, "
+                  f"{times['jellyfish'] / times['torus']:.2f}x the torus")
+    assert ratio < 2.5  # competitive, per the NSDI'12 claim
+
+
+@pytest.mark.benchmark(group="comparators")
+def test_thintree_cost_performance_knob(benchmark):
+    n = BENCH_ENDPOINTS
+    flows = build_workload("unstructuredapp", n, seed=0).build()
+
+    def run():
+        fat = build_topology("fattree", n)
+        thin = build_topology("thintree", n, oversubscription=2)
+        return {
+            "fat_switches": fat.num_switches,
+            "thin_switches": thin.num_switches,
+            "fat_time": simulate(fat, flows, fidelity="approx").makespan,
+            "thin_time": simulate(thin, flows, fidelity="approx").makespan,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    saved = 1 - out["thin_switches"] / out["fat_switches"]
+    slower = out["thin_time"] / out["fat_time"]
+    _LINES.append(f"[thintree] 2:1 oversubscription saves "
+                  f"{saved * 100:.0f}% of the switches for a "
+                  f"{slower:.2f}x slowdown on global random traffic")
+    assert out["thin_switches"] < out["fat_switches"]
+    assert 1.0 <= slower <= 4.0

@@ -1,0 +1,162 @@
+"""Benches for the future-work extensions (paper Section 6).
+
+The paper's conclusions name three follow-on directions; each is
+implemented in this repository and exercised here:
+
+* **energy estimation** — energy-to-solution of a heavy workload across
+  the design space (static idle power x makespan + dynamic bit-hop
+  energy);
+* **fault tolerance** — deterministic-routing vulnerability under random
+  cable loss, and the hybrids' uplink fail-over coverage;
+* **bandwidth scheduling** — weighted max-min flow priorities: a critical
+  flow's speedup and the cost to background traffic.
+
+Plus the **bisection-width model** cross-check: the static bisection
+cables per endpoint must rank topologies the same way the dynamic
+Bisection workload does.  Results land in
+``benchmarks/results/extensions.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_ENDPOINTS, write_result
+from repro import build_topology, build_workload, simulate
+from repro.engine import analyze
+from repro.engine.flows import FlowBuilder
+from repro.topology.bisection import bisection_per_endpoint
+from repro.topology.energy import compare as energy_compare
+from repro.topology.faults import (failover_coverage, sample_link_failures,
+                                   vulnerability)
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+_LINES: list[str] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    yield
+    write_result("extensions.txt", "\n".join(_LINES))
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_energy_to_solution(benchmark):
+    flows = build_workload("unstructuredapp", BENCH_ENDPOINTS, seed=0).build()
+    topologies = {
+        "torus": build_topology("torus", BENCH_ENDPOINTS),
+        "fattree": build_topology("fattree", BENCH_ENDPOINTS),
+        "nesttree(2,2)": build_topology("nesttree", BENCH_ENDPOINTS,
+                                        t=2, u=2),
+        "nesttree(2,8)": build_topology("nesttree", BENCH_ENDPOINTS,
+                                        t=2, u=8),
+    }
+    reports = benchmark.pedantic(
+        lambda: energy_compare(topologies, flows), rounds=1, iterations=1)
+    for label, rep in reports.items():
+        _LINES.append(f"[energy] {label}: {rep.summary()}")
+    # static energy dominates at these message sizes, so energy tracks
+    # makespan: the starved u=8 hybrid burns the most
+    assert reports["nesttree(2,8)"].total_joules == max(
+        r.total_joules for r in reports.values())
+    # every report conserves: total = static + dynamic
+    for rep in reports.values():
+        assert rep.total_joules == pytest.approx(
+            rep.static_joules + rep.dynamic_joules)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_fault_vulnerability(benchmark):
+    def run():
+        out = {}
+        for label, family, params in (
+                ("torus", "torus", {}),
+                ("nesttree(2,2)", "nesttree", {"t": 2, "u": 2})):
+            topo = build_topology(family, BENCH_ENDPOINTS, **params)
+            failed = sample_link_failures(topo, 16, seed=3)
+            out[label] = vulnerability(topo, failed, pairs=300, seed=3)
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, rep in reports.items():
+        _LINES.append(f"[faults] {label}: {rep.summary()}")
+        assert rep.broken_pairs >= 0
+        assert rep.disconnected_pairs <= rep.broken_pairs
+    # the torus has enough path diversity that cable loss rarely cuts it
+    assert reports["torus"].reroutable_fraction > 0.8
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_uplink_failover(benchmark):
+    topo = build_topology("nesttree", BENCH_ENDPOINTS, t=2, u=2)
+    uplinked = [e for e in range(topo.num_endpoints)
+                if (e % topo.plan.nodes) in topo.plan.uplink_rank]
+    shuffled = np.random.default_rng(5).permutation(uplinked)
+
+    def run():
+        return {k: failover_coverage(
+            topo, set(int(x) for x in shuffled[:k]), pairs=300, seed=5)
+            for k in (0, len(uplinked) // 16, len(uplinked) // 2)}
+
+    coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, c in coverage.items():
+        _LINES.append(f"[failover] {k} dead ports -> {c * 100:.2f}% served")
+    assert coverage[0] == 1.0
+    ks = sorted(coverage)
+    assert all(coverage[a] >= coverage[b] for a, b in zip(ks, ks[1:]))
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_priority_scheduling(benchmark):
+    """Weighted max-min: a prioritised flow overtakes background traffic."""
+    n = 64
+    topo = build_topology("fattree", n)
+
+    def run():
+        out = {}
+        for label, weight in (("unweighted", 1.0), ("priority x8", 8.0)):
+            b = FlowBuilder(n)
+            critical = b.add_flow(0, n - 1, CAP / 4, weight=weight)
+            for i in range(1, 32):
+                b.add_flow(0, (i * 7) % n, CAP / 4)  # background from task 0
+            result = simulate(topo, b.build(), fidelity="exact")
+            out[label] = (result.completion_times[critical], result.makespan)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, (crit, total) in times.items():
+        _LINES.append(f"[priority] {label}: critical flow {crit * 1e3:.3f} ms"
+                      f" (workload {total * 1e3:.3f} ms)")
+    # the prioritised run delivers the critical flow much sooner without
+    # changing the overall (injection-bound) makespan
+    assert times["priority x8"][0] < 0.5 * times["unweighted"][0]
+    assert times["priority x8"][1] == pytest.approx(times["unweighted"][1],
+                                                    rel=0.05)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bisection_model_predicts_bisection_workload(benchmark):
+    """Static bisection/endpoint must rank like the Bisection makespans."""
+    flows = build_workload("bisection", BENCH_ENDPOINTS, rounds=2,
+                           seed=0).build()
+    topologies = {
+        "fattree": build_topology("fattree", BENCH_ENDPOINTS),
+        "nesttree(2,2)": build_topology("nesttree", BENCH_ENDPOINTS,
+                                        t=2, u=2),
+        "nesttree(2,8)": build_topology("nesttree", BENCH_ENDPOINTS,
+                                        t=2, u=8),
+    }
+
+    def run():
+        return {label: (bisection_per_endpoint(t),
+                        simulate(t, flows, fidelity="approx").makespan)
+                for label, t in topologies.items()}
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, (width, makespan) in cells.items():
+        _LINES.append(f"[bisection] {label}: {width:.4f} cables/endpoint, "
+                      f"workload {makespan * 1e3:.3f} ms")
+    by_width = sorted(cells, key=lambda k: -cells[k][0])   # widest first
+    by_speed = sorted(cells, key=lambda k: cells[k][1])    # fastest first
+    assert by_width == by_speed

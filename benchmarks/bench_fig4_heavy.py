@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 4 (heavy workloads, normalised execution time).
+
+One benchmark per heavy workload — UnstructuredApp, UnstructuredHR,
+Bisection, AllReduce, n-Bodies, Near Neighbors — each sweeping the full
+design space (12 hybrid points x 2 families + the Fattree and Torus3D
+baselines).  Results are pooled by the session collector, which writes the
+normalised series and the paper's Section 5.2 shape checks to
+``benchmarks/results/fig4_report.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+HEAVY = ["unstructuredapp", "unstructuredhr", "bisection", "allreduce",
+         "nbodies", "nearneighbors"]
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("workload", HEAVY)
+def test_fig4_workload(benchmark, workload, explorer, fig4_collector):
+    table = benchmark.pedantic(lambda: explorer.run([workload]),
+                               rounds=1, iterations=1)
+    fig4_collector.absorb(table)
+
+    norm = table.normalised(workload)
+    # universal Figure 4 shape: the torus never beats the best hybrid on a
+    # heavy workload, and every simulated makespan is positive
+    best_hybrid = min(v for k, v in norm.items()
+                      if k.startswith(("nestghc", "nesttree")))
+    assert all(r.makespan > 0 for r in table.records)
+    assert norm["torus"] >= best_hybrid

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 5 (light workloads, normalised execution time).
+
+One benchmark per light workload — UnstructuredMgnt, MapReduce, Reduce,
+Flood, Sweep3D — swept across the full design space.  The session collector
+writes ``benchmarks/results/fig5_report.txt`` with the normalised series
+and the paper's shape checks (torus wins Sweep3D/Flood; Reduce is flat).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+LIGHT = ["unstructuredmgnt", "mapreduce", "reduce", "flood", "sweep3d"]
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("workload", LIGHT)
+def test_fig5_workload(benchmark, workload, explorer, fig5_collector):
+    table = benchmark.pedantic(lambda: explorer.run([workload]),
+                               rounds=1, iterations=1)
+    fig5_collector.absorb(table)
+
+    norm = table.normalised(workload)
+    assert all(r.makespan > 0 for r in table.records)
+    if workload == "reduce":
+        # paper Section 5.2: "no noticeable difference between the
+        # different networks" — the root's consumption port dominates
+        assert max(norm.values()) / min(norm.values()) < 1.05
+    if workload in ("sweep3d", "flood"):
+        # inverted trend: the torus matches the grid pattern and wins
+        assert norm["torus"] <= min(v for k, v in norm.items()
+                                    if k != "torus") * 1.05

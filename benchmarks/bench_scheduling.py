@@ -1,0 +1,81 @@
+"""Bench: allocation fragmentation and multi-job interference.
+
+INRFlow's remit includes scheduling policies; this bench quantifies the
+two effects the co-scheduling layer exposes:
+
+1. **fragmentation** — the same job mix under aligned / contiguous /
+   random allocations: interference rises as allocations fragment;
+2. **density as isolation** — denser uplinks (the paper's ``u`` knob)
+   absorb cross-job traffic, so interference falls as ``u`` falls.
+
+Results land in ``benchmarks/results/scheduling.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_ENDPOINTS, write_result
+from repro import build_topology
+from repro.scheduling import Job, coschedule
+from repro.scheduling.allocator import by_name, random_allocation
+
+_LINES: list[str] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    yield
+    write_result("scheduling.txt", "\n".join(_LINES))
+
+
+def _job_mix(n: int) -> list[Job]:
+    quarter = n // 4
+    return [
+        Job("halo-a", "nearneighbors", quarter,
+            params={"dims": 3, "diagonals": False}, seed=1),
+        Job("halo-b", "nearneighbors", quarter,
+            params={"dims": 3, "diagonals": False}, seed=2),
+        Job("stress", "bisection", 2 * quarter,
+            params={"rounds": 4}, seed=5),
+    ]
+
+
+@pytest.mark.benchmark(group="scheduling")
+def test_fragmentation_ablation(benchmark):
+    topo = build_topology("nesttree", BENCH_ENDPOINTS, t=2, u=2)
+    jobs = _job_mix(BENCH_ENDPOINTS)
+    sizes = [j.tasks for j in jobs]
+
+    def run():
+        return {policy: coschedule(topo, jobs,
+                                   by_name(policy, topo, sizes, seed=9))
+                for policy in ("aligned", "contiguous", "random")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for policy, r in results.items():
+        _LINES.append(f"[fragmentation] {policy}: mean slowdown "
+                      f"{r.mean_slowdown():.2f}x ({r.summary()})")
+    assert results["aligned"].mean_slowdown() <= \
+        results["random"].mean_slowdown()
+    assert results["aligned"].mean_slowdown() == pytest.approx(1.0, abs=0.05)
+
+
+@pytest.mark.benchmark(group="scheduling")
+def test_density_buys_isolation(benchmark):
+    jobs = _job_mix(BENCH_ENDPOINTS)
+    sizes = [j.tasks for j in jobs]
+
+    def run():
+        out = {}
+        for u in (1, 2, 8):
+            topo = build_topology("nesttree", BENCH_ENDPOINTS, t=2, u=u)
+            allocs = random_allocation(topo, sizes, seed=9)
+            out[u] = coschedule(topo, jobs, allocs).mean_slowdown()
+        return out
+
+    slowdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+    for u, s in slowdowns.items():
+        _LINES.append(f"[density] NestTree(2,{u}) fragmented mix: "
+                      f"mean slowdown {s:.2f}x")
+    assert slowdowns[1] <= slowdowns[8]

@@ -1,0 +1,78 @@
+"""Bench: regenerate Table 1 (average distance and diameter).
+
+Measures the topology build + routing-aware distance analysis for every
+hybrid design point at the bench scale, and writes the assembled table —
+including the fattree/torus reference rows — to
+``benchmarks/results/table1.txt``.  Run ``python -m repro table1``
+(defaults to 131,072 endpoints) for the full-scale comparison against the
+paper's published values; EXPERIMENTS.md records that run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_ENDPOINTS, write_result
+from repro.core.config import PAPER_CONFIGS
+from repro.topology import build as build_topology
+from repro.topology import path_length_stats
+
+_FEASIBLE = [(t, u) for t, u in PAPER_CONFIGS
+             if BENCH_ENDPOINTS % (t ** 3) == 0]
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("family", ["nestghc", "nesttree"])
+@pytest.mark.parametrize("t,u", _FEASIBLE)
+def test_table1_cell(benchmark, family, t, u):
+    """Distance analysis of one (family, t, u) design point."""
+
+    def run():
+        topo = build_topology(family, BENCH_ENDPOINTS, t=t, u=u)
+        stats = path_length_stats(topo, max_pairs=20_000, seed=0)
+        return stats.average, topo.routing_diameter()
+
+    avg, diam = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert avg > 0
+    assert diam >= 2  # at least up + down through something
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_report(benchmark):
+    """Assemble and persist the full Table 1 at the bench scale."""
+    from repro.core import table1
+
+    text = benchmark.pedantic(
+        lambda: table1(BENCH_ENDPOINTS, max_pairs=20_000),
+        rounds=1, iterations=1)
+    path = write_result("table1.txt", text)
+    assert "Table 1" in text
+    assert path.exists()
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_orderings_match_paper(benchmark):
+    """Shape check: GHC paths are (slightly) shorter; distance grows with u."""
+
+    def run():
+        out = {}
+        for t, u in _FEASIBLE:
+            g = path_length_stats(
+                build_topology("nestghc", BENCH_ENDPOINTS, t=t, u=u),
+                max_pairs=20_000, seed=0).average
+            f = path_length_stats(
+                build_topology("nesttree", BENCH_ENDPOINTS, t=t, u=u),
+                max_pairs=20_000, seed=0).average
+            out[(t, u)] = (g, f)
+        return out
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (t, u), (ghc, tree) in averages.items():
+        # "the generalised hypercube provides shorter paths by a slight
+        # margin" (paper Section 5.1)
+        assert ghc <= tree + 1e-9, (t, u)
+    # distance decreases as connection density increases (u: 8 -> 1)
+    for t in {t for t, _ in _FEASIBLE}:
+        series = [averages[(t, u)][1] for u in (8, 4, 2, 1)
+                  if (t, u) in averages]
+        assert series == sorted(series, reverse=True), t

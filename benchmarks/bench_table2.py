@@ -1,0 +1,69 @@
+"""Bench: regenerate Table 2 (switch counts, cost and power overheads).
+
+Runs at the paper's full 131,072-endpoint scale — the analysis is planner
+based, so no topology build is needed — and asserts the NestTree column
+against every published value.  The result table is written to
+``benchmarks/results/table2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.core import table2
+from repro.core.paperdata import PAPER_ENDPOINTS, TABLE2
+from repro.topology.cost import CostModel, fattree_switch_count, ghc_switch_count
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_report(benchmark):
+    text = benchmark.pedantic(lambda: table2(PAPER_ENDPOINTS),
+                              rounds=1, iterations=1)
+    path = write_result("table2.txt", text)
+    assert path.exists()
+    # the fattree reference row of the paper appears verbatim
+    assert "9216" in text and "5.27%" in text and "1.76%" in text
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("u", [8, 4, 2, 1])
+def test_table2_nesttree_matches_paper(benchmark, u):
+    """Our planner reproduces every published NestTree switch count and
+    overhead percentage exactly."""
+    switches_paper, cost_paper, power_paper = (
+        TABLE2[(2, u)][1], TABLE2[(2, u)][3], TABLE2[(2, u)][5])
+
+    def run():
+        model = CostModel()
+        switches = fattree_switch_count(PAPER_ENDPOINTS // u)
+        return (switches,
+                model.cost_increase(switches, PAPER_ENDPOINTS) * 100,
+                model.power_increase(switches, PAPER_ENDPOINTS) * 100)
+
+    switches, cost, power = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert switches == switches_paper
+    assert cost == pytest.approx(cost_paper, abs=0.005)
+    assert power == pytest.approx(power_paper, abs=0.005)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_ghc_u1_matches_paper(benchmark):
+    """u=1 is the only GHC configuration the paper pins down: 8192 switches."""
+    switches = benchmark.pedantic(
+        lambda: ghc_switch_count(PAPER_ENDPOINTS), rounds=1, iterations=1)
+    assert switches == TABLE2[(2, 1)][0] == 8192
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_cost_scales_with_density(benchmark):
+    """More uplinks -> strictly more switches, cost and power (the trade-off
+    the paper's Section 5.1 discussion is about)."""
+
+    def run():
+        return [fattree_switch_count(PAPER_ENDPOINTS // u)
+                for u in (8, 4, 2, 1)]
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert series == sorted(series)
+    assert series[0] * 4 < series[-1]  # dense tier costs several times more

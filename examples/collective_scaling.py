@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Collective-operation scaling study across topologies.
+
+A domain-specific example: how the two collectives of the paper (the
+pathological direct Reduce and the logarithmic AllReduce) scale with system
+size on each topology family.  It demonstrates
+
+* replaying one workload over many topologies,
+* the consumption-port effect (Reduce identical everywhere, linear in N),
+* AllReduce's log-depth scaling and its sensitivity to the network.
+
+Run it with::
+
+    python examples/collective_scaling.py
+"""
+
+from repro import build_topology, build_workload, simulate
+
+SIZES = (64, 256, 512)
+FAMILIES = (
+    ("torus", {}),
+    ("fattree", {}),
+    ("nesttree", {"t": 2, "u": 2}),
+    ("nestghc", {"t": 2, "u": 2}),
+)
+
+
+def main() -> None:
+    for collective in ("reduce", "allreduce"):
+        print(f"== {collective} ==")
+        header = f"{'endpoints':>10} | " + " | ".join(
+            f"{name:>14}" for name, _ in FAMILIES)
+        print(header)
+        print("-" * len(header))
+        for n in SIZES:
+            flows = build_workload(collective, n).build()
+            cells = []
+            for name, params in FAMILIES:
+                topo = build_topology(name, n, **params)
+                makespan = simulate(topo, flows, fidelity="approx").makespan
+                cells.append(f"{makespan * 1e3:11.3f} ms")
+            print(f"{n:>10} | " + " | ".join(f"{c:>14}" for c in cells))
+        print()
+
+    print("Reduce rows are identical across topologies (consumption-port")
+    print("bound) and scale linearly with N; AllReduce separates the")
+    print("families and scales with log2(N) x contention.")
+
+
+if __name__ == "__main__":
+    main()

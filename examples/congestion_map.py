@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Congestion mapping with the static analysis mode.
+
+A datacentre-flavoured example: where does hot-receiver traffic (the
+paper's UnstructuredHR) pile up in a hybrid network as the uplink density
+is thinned?  Uses the static analyser's per-tier load breakdown to show the
+mechanism behind Figure 4's density cliff: with sparse uplinks the same
+bytes squeeze through 8x fewer access links.
+
+Run it with::
+
+    python examples/congestion_map.py
+"""
+
+from repro import build_topology, build_workload
+from repro.engine import analyze
+
+ENDPOINTS = 512
+
+
+def main() -> None:
+    flows = build_workload("unstructuredhr", ENDPOINTS, seed=0).build()
+    print(f"workload: unstructuredhr, {flows.num_flows} flows, "
+          f"{flows.total_bits / 8 / 2**20:.0f} MiB total\n")
+
+    header = (f"{'topology':>16} | {'bottleneck':>11} | {'uplink GiB':>10} | "
+              f"{'fabric GiB':>10} | {'torus GiB':>10} | {'p99 drain':>10}")
+    print(header)
+    print("-" * len(header))
+    for u in (1, 2, 4, 8):
+        topo = build_topology("nesttree", ENDPOINTS, t=2, u=u)
+        report = analyze(topo, flows)
+        tiers = report.tier_loads
+        p99 = report.utilisation_percentiles((99,))[99]
+        print(f"{'nesttree(2,' + str(u) + ')':>16} | "
+              f"{report.bottleneck_time * 1e3:8.2f} ms | "
+              f"{tiers['uplinks'] / 8 / 2**30:10.3f} | "
+              f"{tiers['upper_fabric'] / 8 / 2**30:10.3f} | "
+              f"{tiers['lower_torus'] / 8 / 2**30:10.3f} | "
+              f"{p99 * 1e3:7.2f} ms")
+
+    print("\nThe per-uplink squeeze: total uplink bytes stay roughly flat,")
+    print("but they cross N/u access links, so the bottleneck drain time")
+    print("roughly doubles with each halving of the density — the")
+    print("mechanism behind the paper's u >= 4 performance cliff.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Design-space sweep: a miniature of the paper's Figures 4 and 5.
+
+Sweeps every feasible hybrid design point (t, u) for both NestGHC and
+NestTree, plus the Fattree and Torus3D baselines, over one heavy and one
+light workload, then prints the normalised-execution-time series exactly
+the way the paper's figures arrange them — and evaluates the paper's
+qualitative claims against the measured data.
+
+Run it with (a few minutes at the default 512 endpoints)::
+
+    python examples/design_sweep.py [endpoints]
+"""
+
+import sys
+
+from repro.core import DesignSpaceExplorer, claims_report, figure
+
+
+def main() -> None:
+    endpoints = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    explorer = DesignSpaceExplorer(endpoints, fidelity="approx",
+                                   quadratic_tasks=128, progress=True)
+
+    heavy = ["unstructuredapp", "allreduce"]
+    light = ["sweep3d", "reduce"]
+    table = explorer.run(heavy + light)
+
+    print()
+    print(figure(table, heavy, title="Mini Figure 4 (heavy workloads)"))
+    print()
+    print(figure(table, light, title="Mini Figure 5 (light workloads)"))
+    print()
+    print(claims_report(table, 4))
+    print()
+    print(claims_report(table, 5))
+
+    # the sweet spot the paper identifies: density 1/2 .. 1/4, small subtori
+    print("\nSweet-spot check (paper: one uplink per 2-4 nodes, small t):")
+    for workload in heavy:
+        norm = table.normalised(workload)
+        best = min((v, k) for k, v in norm.items())
+        print(f"  {workload:>16}: best = {best[1]} at {best[0]:.3f}x fattree")
+
+
+if __name__ == "__main__":
+    main()

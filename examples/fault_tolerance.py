@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fault-tolerance study (the paper's future-work direction, implemented).
+
+Three questions, answered with the analysis in ``repro.topology.faults``:
+
+1. How fragile is each topology's *deterministic* routing to random cable
+   failures (the paper's routing functions offer one path per pair)?
+2. How much of that breakage is fundamental (physically disconnected) vs
+   recoverable by an adaptive routing layer?
+3. For the hybrids: how well does a concrete, implementable mechanism —
+   falling back to the nearest surviving uplink when a designated uplink
+   port dies — keep inter-subtorus traffic flowing?
+
+Run it with::
+
+    python examples/fault_tolerance.py
+"""
+
+from repro import build_topology
+from repro.topology.faults import (failover_coverage, sample_link_failures,
+                                   vulnerability)
+
+ENDPOINTS = 512
+
+
+def main() -> None:
+    print("1-2. Deterministic-routing vulnerability to random cable loss")
+    print(f"{'topology':>16} | {'cables lost':>11} | {'pairs broken':>12} | "
+          f"{'reroutable':>10}")
+    print("-" * 62)
+    for label, family, params in (
+            ("torus", "torus", {}),
+            ("fattree", "fattree", {}),
+            ("nesttree(2,2)", "nesttree", {"t": 2, "u": 2}),
+            ("nestghc(2,2)", "nestghc", {"t": 2, "u": 2})):
+        topo = build_topology(family, ENDPOINTS, **params)
+        for cables in (4, 16):
+            failed = sample_link_failures(topo, cables, seed=7)
+            report = vulnerability(topo, failed, pairs=400, seed=7)
+            print(f"{label:>16} | {cables:>11} | "
+                  f"{report.broken_fraction * 100:>10.2f}% | "
+                  f"{report.reroutable_fraction * 100:>9.1f}%")
+
+    print()
+    print("3. Hybrid uplink fail-over (nesttree(2,2), dead uplink PORTS)")
+    import numpy as np
+
+    topo = build_topology("nesttree", ENDPOINTS, t=2, u=2)
+    uplinked = [e for e in range(ENDPOINTS)
+                if (e % topo.plan.nodes) in topo.plan.uplink_rank]
+    shuffled = np.random.default_rng(7).permutation(uplinked)
+    for dead_count in (0, 8, 32, 128):
+        dead = set(int(e) for e in shuffled[:dead_count])
+        coverage = failover_coverage(topo, dead, pairs=400, seed=7)
+        print(f"  {dead_count:>3} randomly dead ports (of {len(uplinked)}) "
+              f"-> {coverage * 100:6.2f}% of inter-subtorus pairs served")
+    print("\nEvery subtorus has multiple uplinks at u<=4, so scattered port")
+    print("failures are absorbed by the nearest-surviving-uplink fail-over;")
+    print("coverage only drops once whole subtori lose every port — one")
+    print("concrete payoff of densifying the uplinks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multi-job co-scheduling: allocation policy vs network interference.
+
+INRFlow models "the scheduling policies (selection, allocation and
+mapping)"; this example uses the co-scheduling layer to quantify what the
+paper's hybrid design buys a *shared* machine: subtorus-aligned
+allocations isolate each job's local traffic in its own lower-tier torus,
+while fragmented allocations push everything through the shared upper
+fabric.
+
+Four halo-exchange jobs plus one bisection-stressor job are packed onto a
+NestTree(2,2) machine under three allocation policies; the table reports
+each job's slowdown relative to running alone on the same nodes.
+
+Run it with::
+
+    python examples/multi_job_interference.py
+"""
+
+from repro import build_topology
+from repro.scheduling import Job, coschedule
+from repro.scheduling.allocator import by_name
+
+ENDPOINTS = 512
+
+
+def main() -> None:
+    topo = build_topology("nesttree", ENDPOINTS, t=2, u=2)
+    jobs = [
+        Job("halo-a", "nearneighbors", 64,
+            params={"dims": 3, "diagonals": False}, seed=1),
+        Job("halo-b", "nearneighbors", 64,
+            params={"dims": 3, "diagonals": False}, seed=2),
+        Job("halo-c", "nearneighbors", 64,
+            params={"dims": 3, "diagonals": False}, seed=3),
+        Job("halo-d", "nearneighbors", 64,
+            params={"dims": 3, "diagonals": False}, seed=4),
+        Job("stress", "bisection", 128, params={"rounds": 4}, seed=5),
+    ]
+    sizes = [j.tasks for j in jobs]
+
+    print(f"machine: {topo.describe()}")
+    for job in jobs:
+        print(f"  {job.describe()}")
+    print()
+    header = (f"{'policy':>12} | " +
+              " | ".join(f"{j.name:>8}" for j in jobs) +
+              f" | {'mean':>6}")
+    print(header)
+    print("-" * len(header))
+    for policy in ("aligned", "contiguous", "random"):
+        result = coschedule(topo, jobs, by_name(policy, topo, sizes, seed=9))
+        cells = " | ".join(f"{j.slowdown:7.2f}x" for j in result.jobs)
+        print(f"{policy:>12} | {cells} | {result.mean_slowdown():5.2f}x")
+
+    print("\nAligned allocation keeps every halo job at ~1.0x (its stencil")
+    print("never leaves its own subtori); random fragmentation forces the")
+    print("same traffic through the shared upper tier, where the stressor")
+    print("job's exchanges collide with it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Static topology analysis: Tables 1 and 2 plus distance distributions.
+
+Shows the analysis-side API (no simulation): routing-aware distance
+statistics, closed-form diameters, switch counting and the calibrated
+cost/power model.  With ``--full`` it runs at the paper's 131,072-endpoint
+scale and prints the published values side by side (takes ~1 minute; the
+default 4,096-endpoint run takes seconds).
+
+Run it with::
+
+    python examples/topology_analysis.py [--full]
+"""
+
+import sys
+
+from repro.core import table1, table2
+from repro.core.paperdata import PAPER_ENDPOINTS
+from repro.topology import build as build_topology
+from repro.topology import path_length_stats
+
+
+def main() -> None:
+    endpoints = PAPER_ENDPOINTS if "--full" in sys.argv else 4096
+
+    print(table2(endpoints))
+    print()
+    print(table1(endpoints, max_pairs=20_000))
+
+    # distance distribution: the histogram behind the averages ("we also
+    # look at the distribution of distances", paper Section 5.1)
+    print("\nDistance distribution, NestGHC(2,4) vs NestTree(2,4):")
+    for family in ("nestghc", "nesttree"):
+        topo = build_topology(family, min(endpoints, 4096), t=2, u=4)
+        stats = path_length_stats(topo, max_pairs=20_000)
+        dist = stats.distribution()
+        bar = " ".join(f"{h}:{p * 100:.1f}%" for h, p in dist.items())
+        print(f"  {family:>9}: {bar}")
+
+
+if __name__ == "__main__":
+    main()

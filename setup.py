@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the ``wheel`` package is unavailable (``pip install -e . --no-build-isolation --no-use-pep517``)."""
+from setuptools import setup
+
+setup()

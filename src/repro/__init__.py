@@ -1,0 +1,38 @@
+"""repro — flow-level design exploration of multi-tier interconnects.
+
+A from-scratch reproduction of *"Design Exploration of Multi-tier
+Interconnection Networks for Exascale Systems"* (Navaridas, Lant, Pascual,
+Luján, Goodacre — ICPP 2019): an INRFlow-style flow-level network simulator,
+the paper's five topology families (3D torus, generalised fattree,
+generalised hypercube, NestTree, NestGHC), its eleven application-inspired
+workloads, and the analysis/cost models and experiment harness behind its
+Tables 1–2 and Figures 4–5.
+
+Quickstart::
+
+    from repro import build_topology, build_workload, simulate
+
+    topo = build_topology("nesttree", 512, t=2, u=2)
+    wl = build_workload("allreduce", topo.num_endpoints)
+    result = simulate(topo, wl)
+    print(result.makespan)
+"""
+
+from repro.engine import SimulationResult, simulate
+from repro.topology import build as build_topology
+from repro.units import DEFAULT_LINK_CAPACITY, GBPS, KiB, MiB
+from repro.workloads import build as build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_LINK_CAPACITY",
+    "GBPS",
+    "KiB",
+    "MiB",
+    "SimulationResult",
+    "__version__",
+    "build_topology",
+    "build_workload",
+    "simulate",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate every table and figure of the paper.
+
+Usage (installed as ``repro`` or via ``python -m repro``)::
+
+    repro table1 --endpoints 131072        # paper-scale static analysis
+    repro table2 --endpoints 131072
+    repro fig4 --endpoints 4096 --out fig4.csv
+    repro fig5 --endpoints 4096
+    repro run --topology nesttree --t 2 --u 4 --workload allreduce
+    repro info
+
+Dynamic experiments (fig4/fig5/run) default to a scaled-down system; the
+static analyses (table1/table2) run at any scale including the paper's
+131,072 endpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (DEFAULT_ENDPOINTS, DesignSpaceExplorer, claims_report,
+                        figure, table1, table2)
+from repro.core.config import DEFAULT_QUADRATIC_TASKS
+from repro.core.paperdata import PAPER_ENDPOINTS
+
+
+def _add_common(p: argparse.ArgumentParser, *, endpoints: int) -> None:
+    p.add_argument("--endpoints", type=int, default=endpoints,
+                   help=f"system size in QFDBs (default {endpoints})")
+    p.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_sweep(p: argparse.ArgumentParser) -> None:
+    _add_common(p, endpoints=DEFAULT_ENDPOINTS)
+    p.add_argument("--fidelity", choices=("exact", "approx"),
+                   default="approx", help="engine fidelity (default approx)")
+    p.add_argument("--quadratic-tasks", type=int,
+                   default=DEFAULT_QUADRATIC_TASKS,
+                   help="task cap for MapReduce/n-Bodies")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="subset of workloads to run")
+    p.add_argument("--out", default=None, help="also write raw CSV here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress logging")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-tier interconnect design exploration "
+                    "(ICPP 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="average distance / diameter table")
+    _add_common(p1, endpoints=PAPER_ENDPOINTS)
+    p1.add_argument("--max-pairs", type=int, default=50_000,
+                    help="sampled pairs per topology (exact if that covers "
+                         "the whole pair space)")
+
+    p2 = sub.add_parser("table2", help="switch count / cost / power table")
+    _add_common(p2, endpoints=PAPER_ENDPOINTS)
+
+    p4 = sub.add_parser("fig4", help="heavy-workload normalised times")
+    _add_sweep(p4)
+    p5 = sub.add_parser("fig5", help="light-workload normalised times")
+    _add_sweep(p5)
+
+    pr = sub.add_parser("run", help="one (topology, workload) simulation")
+    _add_common(pr, endpoints=DEFAULT_ENDPOINTS)
+    pr.add_argument("--topology", required=True,
+                    help="family: torus, fattree, ghc, nesttree, nestghc")
+    pr.add_argument("--t", type=int, default=None, help="subtorus side")
+    pr.add_argument("--u", type=int, default=None, help="uplink sparsity")
+    pr.add_argument("--workload", required=True)
+    pr.add_argument("--tasks", type=int, default=None)
+    pr.add_argument("--fidelity", choices=("exact", "approx"),
+                    default="exact")
+
+    sub.add_parser("info", help="library inventory")
+
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        print(table1(args.endpoints, max_pairs=args.max_pairs, seed=args.seed))
+    elif args.command == "table2":
+        print(table2(args.endpoints))
+    elif args.command in ("fig4", "fig5"):
+        _run_figure(args, heavy=args.command == "fig4")
+    elif args.command == "run":
+        _run_single(args)
+    elif args.command == "info":
+        _info()
+    return 0
+
+
+def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
+    from repro.workloads import heavy_workloads, light_workloads
+
+    names = args.workloads or (heavy_workloads() if heavy else light_workloads())
+    explorer = DesignSpaceExplorer(
+        args.endpoints, fidelity=args.fidelity,
+        quadratic_tasks=args.quadratic_tasks, seed=args.seed,
+        progress=not args.quiet)
+    table = explorer.run(names)
+    fig_no = 4 if heavy else 5
+    print(figure(table, names,
+                 title=f"Figure {fig_no} ({'heavy' if heavy else 'light'} "
+                       f"workloads)"))
+    print()
+    print(claims_report(table, fig_no))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table.to_csv())
+        print(f"\nraw results written to {args.out}", file=sys.stderr)
+
+
+def _run_single(args: argparse.Namespace) -> None:
+    from repro import simulate
+    from repro.mapping.placement import spread_placement
+    from repro.topology import build as build_topology
+    from repro.workloads import build as build_workload
+
+    params = {}
+    if args.t is not None:
+        params["t"] = args.t
+    if args.u is not None:
+        params["u"] = args.u
+    topo = build_topology(args.topology, args.endpoints, **params)
+    tasks = args.tasks or args.endpoints
+    wl = build_workload(args.workload, tasks, seed=args.seed)
+    placement = None if tasks == args.endpoints \
+        else spread_placement(tasks, args.endpoints)
+    result = simulate(topo, wl.build(), placement=placement,
+                      fidelity=args.fidelity)
+    print(topo.describe())
+    print(wl.describe())
+    print(result.summary())
+
+
+def _info() -> None:
+    from repro import __version__
+    from repro.topology import available as topo_available
+    from repro.workloads import available as wl_available
+    from repro.workloads import heavy_workloads, light_workloads
+
+    print(f"repro {__version__} — ICPP 2019 multi-tier interconnect "
+          f"reproduction")
+    print(f"topologies: {', '.join(topo_available())}")
+    print(f"heavy workloads (Fig.4): {', '.join(heavy_workloads())}")
+    print(f"light workloads (Fig.5): {', '.join(light_workloads())}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

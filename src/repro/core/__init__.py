@@ -1,0 +1,35 @@
+"""Experiment harness: configs, the design-space explorer, reports.
+
+This package turns the simulator + topologies + workloads into the paper's
+evaluation: :class:`~repro.core.explorer.DesignSpaceExplorer` runs the
+Figure 4/5 cross products, :mod:`~repro.core.report` renders Tables 1-2 and
+the normalised figure series, :mod:`~repro.core.shapes` checks the paper's
+qualitative claims, and :mod:`~repro.core.paperdata` holds the published
+numbers for comparison.
+"""
+
+from repro.core.config import (DEFAULT_ENDPOINTS, DEFAULT_QUADRATIC_TASKS,
+                               PAPER_CONFIGS, ExperimentConfig, TopologySpec,
+                               WorkloadSpec, baseline_specs, hybrid_specs)
+from repro.core.explorer import DesignSpaceExplorer, ResultTable, RunRecord
+from repro.core.report import claims_report, figure, table1, table2
+from repro.core.shapes import evaluate_claims
+
+__all__ = [
+    "DEFAULT_ENDPOINTS",
+    "DEFAULT_QUADRATIC_TASKS",
+    "PAPER_CONFIGS",
+    "DesignSpaceExplorer",
+    "ExperimentConfig",
+    "ResultTable",
+    "RunRecord",
+    "TopologySpec",
+    "WorkloadSpec",
+    "baseline_specs",
+    "claims_report",
+    "evaluate_claims",
+    "figure",
+    "hybrid_specs",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,98 @@
+"""Experiment configuration records.
+
+These dataclasses are the declarative layer between the CLI / benches and
+the simulation machinery: a config can be hashed, printed, and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+#: The 12 hybrid design points of the paper's evaluation, in figure order.
+PAPER_CONFIGS: tuple[tuple[int, int], ...] = (
+    (2, 8), (2, 4), (2, 2), (2, 1),
+    (4, 8), (4, 4), (4, 2), (4, 1),
+    (8, 8), (8, 4), (8, 2), (8, 1),
+)
+
+#: Default endpoint count for dynamic experiments (the paper used 131,072;
+#: see DESIGN.md for the scaling substitution).
+DEFAULT_ENDPOINTS = 4096
+
+#: Default task cap for workloads with quadratic flow counts.
+DEFAULT_QUADRATIC_TASKS = 512
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology family plus its construction parameters."""
+
+    family: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        t, u = self.params.get("t"), self.params.get("u")
+        if t is not None and u is not None:
+            return f"{self.family}({t},{u})"
+        return self.family
+
+    def build(self, num_endpoints: int):
+        from repro.topology import build
+
+        return build(self.family, num_endpoints, **self.params)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload name plus parameters; ``tasks=None`` means one per endpoint."""
+
+    name: str
+    tasks: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def resolve_tasks(self, num_endpoints: int) -> int:
+        if self.tasks is None:
+            return num_endpoints
+        if self.tasks > num_endpoints:
+            raise ConfigError(
+                f"{self.name}: {self.tasks} tasks exceed {num_endpoints} endpoints")
+        return self.tasks
+
+    def build(self, num_endpoints: int, *, seed: int = 0):
+        from repro.workloads import build
+
+        return build(self.name, self.resolve_tasks(num_endpoints),
+                     seed=seed, **self.params)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One (topology, workload) dynamic simulation."""
+
+    endpoints: int
+    topology: TopologySpec
+    workload: WorkloadSpec
+    placement: str = "identity"
+    fidelity: str = "approx"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.endpoints < 2:
+            raise ConfigError("experiments need at least 2 endpoints")
+
+
+def hybrid_specs(configs=PAPER_CONFIGS) -> list[TopologySpec]:
+    """NestGHC and NestTree specs for every (t, u) design point."""
+    specs: list[TopologySpec] = []
+    for t, u in configs:
+        specs.append(TopologySpec("nestghc", {"t": t, "u": u}))
+        specs.append(TopologySpec("nesttree", {"t": t, "u": u}))
+    return specs
+
+
+def baseline_specs() -> list[TopologySpec]:
+    """The two single-topology baselines of the evaluation."""
+    return [TopologySpec("fattree"), TopologySpec("torus")]

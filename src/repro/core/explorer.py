@@ -1,0 +1,197 @@
+"""Design-space exploration driver (the paper's Section 5 sweeps).
+
+:class:`DesignSpaceExplorer` owns the cross product behind Figures 4 and 5:
+every hybrid design point (t, u) for both NestGHC and NestTree, plus the
+Fattree and Torus3D baselines, against any list of workloads.  Topologies
+are built once and reused across workloads; workloads are built once and
+replayed across topologies (flows are task-indexed, so a placement adapts
+them to each machine).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import (DEFAULT_ENDPOINTS, DEFAULT_QUADRATIC_TASKS,
+                               PAPER_CONFIGS, TopologySpec, WorkloadSpec,
+                               baseline_specs, hybrid_specs)
+from repro.engine import simulate
+from repro.errors import ConfigError
+from repro.mapping import placement as placement_mod
+from repro.topology.base import Topology
+
+#: Workloads whose flow counts grow quadratically with the task count; they
+#: run with a capped task set (see DESIGN.md substitutions).
+QUADRATIC_WORKLOADS = ("mapreduce", "nbodies")
+
+#: Placement policy for capped workloads.  The ring workload runs under a
+#: fragmented (random) allocation — INRFlow models allocation policies, and
+#: a rank-aligned ring would trivially hand the torus a perfect-locality
+#: mapping no real scheduler guarantees; everything else spreads evenly.
+PLACEMENT_POLICY = {"nbodies": "random"}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One simulated (workload, topology) cell."""
+
+    workload: str
+    topology: str     # label, e.g. "nesttree(2,4)" or "fattree"
+    family: str
+    t: int | None
+    u: int | None
+    makespan: float
+    num_flows: int
+    events: int
+    reallocations: int
+    wall_seconds: float
+
+
+@dataclass
+class ResultTable:
+    """All cells of one sweep, with normalisation helpers."""
+
+    endpoints: int
+    fidelity: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def workloads(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.workload, None)
+        return list(seen)
+
+    def cell(self, workload: str, topology: str) -> RunRecord:
+        for r in self.records:
+            if r.workload == workload and r.topology == topology:
+                return r
+        raise KeyError(f"no record for ({workload}, {topology})")
+
+    def normalised(self, workload: str, *, reference: str = "fattree"
+                   ) -> dict[str, float]:
+        """Makespans of one workload divided by the reference topology's.
+
+        The paper's figures plot normalised execution time; the plots show
+        flat Fattree/Torus3D series across the x-axis, i.e. a per-workload
+        constant — we normalise to the Fattree baseline.
+        """
+        ref = self.cell(workload, reference).makespan
+        if ref <= 0:
+            raise ConfigError(f"reference makespan for {workload} is zero")
+        return {r.topology: r.makespan / ref
+                for r in self.records if r.workload == workload}
+
+    def to_csv(self) -> str:
+        lines = ["workload,topology,family,t,u,makespan_s,num_flows,"
+                 "events,reallocations,wall_s"]
+        for r in self.records:
+            lines.append(
+                f"{r.workload},{r.topology},{r.family},"
+                f"{'' if r.t is None else r.t},{'' if r.u is None else r.u},"
+                f"{r.makespan!r},{r.num_flows},{r.events},"
+                f"{r.reallocations},{r.wall_seconds:.3f}")
+        return "\n".join(lines) + "\n"
+
+
+class DesignSpaceExplorer:
+    """Builds and runs the paper's topology x workload cross product."""
+
+    def __init__(self, endpoints: int = DEFAULT_ENDPOINTS, *,
+                 configs: Sequence[tuple[int, int]] = PAPER_CONFIGS,
+                 fidelity: str = "approx",
+                 quadratic_tasks: int = DEFAULT_QUADRATIC_TASKS,
+                 seed: int = 0,
+                 include_baselines: bool = True,
+                 progress: bool = False) -> None:
+        self.endpoints = endpoints
+        # design points whose subtorus does not tile the system are skipped
+        # (e.g. t=8 needs at least 512 endpoints)
+        self.configs = tuple((t, u) for t, u in configs
+                             if endpoints % (t ** 3) == 0)
+        self.skipped_configs = tuple((t, u) for t, u in configs
+                                     if endpoints % (t ** 3) != 0)
+        self.fidelity = fidelity
+        self.quadratic_tasks = quadratic_tasks
+        self.seed = seed
+        self.include_baselines = include_baselines
+        self.progress = progress
+        self._topologies: dict[str, Topology] = {}
+
+    # -------------------------------------------------------------- topology
+    def topology_specs(self) -> list[TopologySpec]:
+        specs = hybrid_specs(self.configs)
+        if self.include_baselines:
+            specs += baseline_specs()
+        return specs
+
+    def topology(self, spec: TopologySpec) -> Topology:
+        """Build (or fetch from cache) the topology for a spec."""
+        label = spec.label()
+        if label not in self._topologies:
+            self._log(f"building {label} @ {self.endpoints} endpoints")
+            self._topologies[label] = spec.build(self.endpoints)
+        return self._topologies[label]
+
+    # -------------------------------------------------------------- workload
+    def workload_spec(self, name: str) -> WorkloadSpec:
+        """Default spec for a workload name (task caps per DESIGN.md)."""
+        if name in QUADRATIC_WORKLOADS:
+            return WorkloadSpec(name, tasks=min(self.endpoints,
+                                                self.quadratic_tasks))
+        return WorkloadSpec(name)
+
+    def _placement(self, workload: str, tasks: int) -> np.ndarray | None:
+        if tasks == self.endpoints:
+            return None  # identity
+        policy = PLACEMENT_POLICY.get(workload, "spread")
+        return placement_mod.by_name(policy, tasks, self.endpoints,
+                                     seed=self.seed)
+
+    # ------------------------------------------------------------------- run
+    def run(self, workload_names: Iterable[str], *,
+            workload_params: dict[str, dict] | None = None) -> ResultTable:
+        """Simulate every workload on every topology of the design space."""
+        table = ResultTable(endpoints=self.endpoints, fidelity=self.fidelity)
+        if self.skipped_configs:
+            self._log(f"skipping design points that do not tile "
+                      f"{self.endpoints} endpoints: {self.skipped_configs}")
+        params = workload_params or {}
+        for wname in workload_names:
+            spec = self.workload_spec(wname)
+            if wname in params:
+                spec = WorkloadSpec(spec.name, spec.tasks, params[wname])
+            flows = spec.build(self.endpoints, seed=self.seed).build()
+            tasks = spec.resolve_tasks(self.endpoints)
+            placement = self._placement(wname, tasks)
+            self._log(f"workload {wname}: {flows.num_flows} flows, "
+                      f"{tasks} tasks")
+            for tspec in self.topology_specs():
+                topo = self.topology(tspec)
+                t0 = time.perf_counter()
+                result = simulate(topo, flows, placement=placement,
+                                  fidelity=self.fidelity)
+                wall = time.perf_counter() - t0
+                table.add(RunRecord(
+                    workload=wname, topology=tspec.label(),
+                    family=tspec.family,
+                    t=tspec.params.get("t"), u=tspec.params.get("u"),
+                    makespan=result.makespan, num_flows=result.num_flows,
+                    events=result.events,
+                    reallocations=result.reallocations,
+                    wall_seconds=wall))
+                self._log(f"  {tspec.label():>16}: "
+                          f"{result.makespan * 1e3:9.3f} ms "
+                          f"({wall:5.1f}s wall)")
+        return table
+
+    def _log(self, msg: str) -> None:
+        if self.progress:
+            print(f"[explorer] {msg}", file=sys.stderr, flush=True)

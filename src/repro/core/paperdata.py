@@ -1,0 +1,112 @@
+"""The paper's published numbers, for side-by-side comparison output.
+
+Everything here is transcribed from Navaridas et al., ICPP 2019 (Tables 1
+and 2 and the Section 5 discussion).  The harness prints these next to our
+measured values; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: System size of the paper's evaluation (Section 5).
+PAPER_ENDPOINTS = 131_072
+
+#: Table 1 — average distance and diameter per (t, u) design point.
+#: Keys: (t, u) -> (avg_ghc, avg_tree, diam_ghc, diam_tree).
+TABLE1 = {
+    (2, 8): (8.75, 8.88, 12, 12),
+    (2, 4): (7.31, 7.44, 8, 8),
+    (2, 2): (6.84, 6.97, 8, 8),
+    (2, 1): (5.87, 5.98, 6, 6),
+    (4, 8): (8.69, 8.87, 12, 12),
+    (4, 4): (7.31, 7.44, 8, 8),
+    (4, 2): (6.84, 6.97, 8, 8),
+    (4, 1): (5.87, 5.98, 6, 6),
+    (8, 8): (8.72, 8.87, 12, 12),
+    (8, 4): (7.32, 7.44, 11, 11),
+    (8, 2): (6.85, 6.97, 11, 11),
+    (8, 1): (5.88, 5.99, 11, 11),
+}
+
+#: Table 1 footnote reference values.
+FATTREE_AVG_DISTANCE = 5.94
+FATTREE_DIAMETER = 6
+TORUS_AVG_DISTANCE = 40.0
+TORUS_DIAMETER = 80
+
+#: Table 2 — switches and cost/power overheads (percent).
+#: Keys: (t, u) -> (switches_ghc, switches_tree, cost_ghc%, cost_tree%,
+#:                  power_ghc%, power_tree%).  Values depend only on u.
+TABLE2 = {
+    (2, 8): (2048, 2048, 1.17, 1.17, 0.39, 0.39),
+    (2, 4): (3072, 3072, 1.76, 1.76, 0.59, 0.59),
+    (2, 2): (5120, 5120, 2.93, 2.93, 0.98, 0.98),
+    (2, 1): (8192, 9216, 4.69, 5.27, 1.56, 1.76),
+    (4, 8): (2048, 2048, 1.17, 1.17, 0.39, 0.39),
+    (4, 4): (3072, 3072, 1.76, 1.76, 0.59, 0.59),
+    (4, 2): (5120, 5120, 2.93, 2.93, 0.98, 0.98),
+    (4, 1): (8192, 9216, 4.69, 5.27, 1.56, 1.76),
+    (8, 8): (2048, 2048, 1.17, 1.17, 0.39, 0.39),
+    (8, 4): (3072, 3072, 1.76, 1.76, 0.59, 0.59),
+    (8, 2): (5120, 5120, 2.93, 2.93, 0.98, 0.98),
+    (8, 1): (8192, 9216, 4.69, 5.27, 1.56, 1.76),
+}
+
+#: Table 2 footnote: the standalone fattree baseline.
+FATTREE_SWITCHES = 9216
+FATTREE_COST_PCT = 5.27
+FATTREE_POWER_PCT = 1.76
+
+
+@dataclass(frozen=True)
+class FigureClaim:
+    """A qualitative, checkable claim the paper makes about one workload."""
+
+    workload: str
+    figure: int
+    claim: str
+
+
+#: Section 5.2 claims, used by the figure benches' shape checks and
+#: EXPERIMENTS.md.  Each claim is verified programmatically where possible.
+FIGURE_CLAIMS = (
+    FigureClaim("unstructuredapp", 4,
+                "dense hybrids (u<=2) match or beat the fattree; torus is "
+                "several times slower"),
+    FigureClaim("unstructuredhr", 4,
+                "NestGHC executes quicker than NestTree (hot-receiver "
+                "traffic), torus is worst"),
+    FigureClaim("bisection", 4,
+                "the fattree upper tier beats the GHC upper tier by a "
+                "clear margin"),
+    FigureClaim("allreduce", 4,
+                "hybrids with dense uplinks track the fattree; sparse "
+                "uplinks with big subtori degrade sharply"),
+    FigureClaim("nbodies", 4,
+                "torus is up to an order of magnitude slower; hybrid "
+                "performance degrades as t and u grow"),
+    FigureClaim("nearneighbors", 4,
+                "despite the grid-matched pattern, the torus loses to the "
+                "fattree and dense hybrids (all nodes send at once)"),
+    FigureClaim("unstructuredmgnt", 5,
+                "differences are small (light load); sparse/big-subtorus "
+                "hybrids are moderately slower"),
+    FigureClaim("mapreduce", 5,
+                "the torus wins by a slim margin; growing the subtorus "
+                "still hurts the hybrids"),
+    FigureClaim("reduce", 5,
+                "all topologies perform identically: the root's consumption "
+                "port serialises delivery"),
+    FigureClaim("flood", 5,
+                "trend inverts: the torus wins and longer subtorus "
+                "dimensions help the hybrids"),
+    FigureClaim("sweep3d", 5,
+                "trend inverts: the torus wins and longer subtorus "
+                "dimensions help the hybrids"),
+)
+
+
+def claims_for(figure: int) -> list[FigureClaim]:
+    """All claims attached to one figure."""
+    return [c for c in FIGURE_CLAIMS if c.figure == figure]

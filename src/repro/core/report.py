@@ -1,0 +1,167 @@
+"""Text reports mirroring the paper's tables and figures.
+
+Each function renders plain-text tables in the same arrangement as the
+paper, with our measured value next to the paper's published one where a
+direct comparison exists (full-scale static analyses), or the normalised
+series of Figures 4/5 for dynamic sweeps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core import paperdata
+from repro.core.config import PAPER_CONFIGS
+from repro.core.explorer import ResultTable
+from repro.topology.analysis import path_length_stats
+from repro.topology.cost import CostModel
+from repro.topology.registry import build as build_topology
+
+
+def table1(endpoints: int, *, max_pairs: int = 50_000, seed: int = 0,
+           configs: Sequence[tuple[int, int]] = PAPER_CONFIGS,
+           compare_paper: bool | None = None) -> str:
+    """Average distance and diameter of every hybrid design point.
+
+    At the paper's full scale (131,072 endpoints) the output includes the
+    paper's Table 1 numbers for comparison.
+    """
+    if compare_paper is None:
+        compare_paper = endpoints == paperdata.PAPER_ENDPOINTS
+    lines = [
+        f"Table 1 — average distance (uniform traffic) and diameter "
+        f"@ {endpoints} endpoints",
+        f"{'(t,u)':>8} | {'avg NestGHC':>12} {'avg NestTree':>13} | "
+        f"{'diam GHC':>9} {'diam Tree':>10}"
+        + ("  | paper (avg g/t, diam g/t)" if compare_paper else ""),
+    ]
+    lines.append("-" * len(lines[-1]))
+    for t, u in configs:
+        if endpoints % (t ** 3):
+            lines.append(f"({t},{u})".rjust(8)
+                         + f" | (skipped: t={t} does not tile "
+                           f"{endpoints} endpoints)")
+            continue
+        row = []
+        for family in ("nestghc", "nesttree"):
+            topo = build_topology(family, endpoints, t=t, u=u)
+            stats = path_length_stats(topo, max_pairs=max_pairs, seed=seed)
+            diam = topo.routing_diameter()
+            row.append((stats.average, diam))
+        text = (f"({t},{u})".rjust(8)
+                + f" | {row[0][0]:>12.2f} {row[1][0]:>13.2f}"
+                + f" | {row[0][1]:>9d} {row[1][1]:>10d}")
+        if compare_paper and (t, u) in paperdata.TABLE1:
+            ag, at, dg, dt = paperdata.TABLE1[(t, u)]
+            text += f"  | {ag:.2f}/{at:.2f}, {dg}/{dt}"
+        lines.append(text)
+    ft = build_topology("fattree", endpoints)
+    ft_stats = path_length_stats(ft, max_pairs=max_pairs, seed=seed)
+    to = build_topology("torus", endpoints)
+    to_stats = path_length_stats(to, max_pairs=max_pairs, seed=seed)
+    lines.append("")
+    lines.append(f"Reference: fattree avg {ft_stats.average:.2f}, "
+                 f"diameter {ft.routing_diameter()}"
+                 + (f" (paper: {paperdata.FATTREE_AVG_DISTANCE}, "
+                    f"{paperdata.FATTREE_DIAMETER})" if compare_paper else ""))
+    lines.append(f"Reference: torus   avg {to_stats.average:.2f}, "
+                 f"diameter {to.routing_diameter()}"
+                 + (f" (paper: {paperdata.TORUS_AVG_DISTANCE}, "
+                    f"{paperdata.TORUS_DIAMETER})" if compare_paper else ""))
+    return "\n".join(lines)
+
+
+def table2(endpoints: int, *,
+           configs: Sequence[tuple[int, int]] = PAPER_CONFIGS,
+           model: CostModel | None = None,
+           compare_paper: bool | None = None) -> str:
+    """Switch counts and cost/power overheads of every design point.
+
+    Uses the planners only (no full topology build), so it runs instantly
+    at any scale.
+    """
+    from repro.topology.cost import (fattree_switch_count, ghc_switch_count,
+                                     overhead_row)
+
+    if compare_paper is None:
+        compare_paper = endpoints == paperdata.PAPER_ENDPOINTS
+    model = model or CostModel()
+    lines = [
+        f"Table 2 — switches and estimated overheads @ {endpoints} endpoints",
+        f"{'(t,u)':>8} | {'sw GHC':>8} {'sw Tree':>8} | "
+        f"{'cost GHC':>9} {'cost Tree':>10} | {'pow GHC':>8} {'pow Tree':>9}"
+        + ("  | paper switches g/t" if compare_paper else ""),
+    ]
+    lines.append("-" * len(lines[-1]))
+    for t, u in configs:
+        ports = endpoints // u
+        sg = ghc_switch_count(ports)
+        st = fattree_switch_count(ports)
+        rg = overhead_row(f"ghc", sg, endpoints, model)
+        rt = overhead_row(f"tree", st, endpoints, model)
+        text = (f"({t},{u})".rjust(8)
+                + f" | {sg:>8d} {st:>8d}"
+                + f" | {rg.cost_increase * 100:>8.2f}% "
+                  f"{rt.cost_increase * 100:>9.2f}%"
+                + f" | {rg.power_increase * 100:>7.2f}% "
+                  f"{rt.power_increase * 100:>8.2f}%")
+        if compare_paper and (t, u) in paperdata.TABLE2:
+            pg, pt = paperdata.TABLE2[(t, u)][:2]
+            text += f"  | {pg}/{pt}"
+        lines.append(text)
+    ft_switches = fattree_switch_count(endpoints)
+    row = overhead_row("fattree", ft_switches, endpoints, model)
+    lines.append("")
+    lines.append(f"Reference: full fattree needs {ft_switches} switches, "
+                 f"+{row.cost_increase * 100:.2f}% cost, "
+                 f"+{row.power_increase * 100:.2f}% power"
+                 + (f" (paper: {paperdata.FATTREE_SWITCHES}, "
+                    f"+{paperdata.FATTREE_COST_PCT}%, "
+                    f"+{paperdata.FATTREE_POWER_PCT}%)" if compare_paper else ""))
+    return "\n".join(lines)
+
+
+def figure(table: ResultTable, workloads: Sequence[str], *,
+           title: str, reference: str = "fattree") -> str:
+    """Normalised-execution-time series for a set of workloads (Fig. 4/5).
+
+    One block per workload: rows are the 12 (t, u) design points, columns
+    the NestGHC/NestTree series plus the flat Fattree and Torus3D baselines.
+    """
+    lines = [f"{title} — normalised execution time "
+             f"(reference = {reference}, {table.endpoints} endpoints, "
+             f"fidelity={table.fidelity})"]
+    for wname in workloads:
+        norm = table.normalised(wname, reference=reference)
+        lines.append("")
+        lines.append(f"== {wname} ==")
+        lines.append(f"{'(t,u)':>8} | {'NestGHC':>9} {'NestTree':>9} | "
+                     f"{'Fattree':>8} {'Torus3D':>8}")
+        fat = norm.get("fattree", float("nan"))
+        tor = norm.get("torus", float("nan"))
+        seen = set()
+        for r in table.records:
+            if r.workload != wname or r.t is None:
+                continue
+            key = (r.t, r.u)
+            if key in seen:
+                continue
+            seen.add(key)
+            g = norm.get(f"nestghc({r.t},{r.u})", float("nan"))
+            tr = norm.get(f"nesttree({r.t},{r.u})", float("nan"))
+            lines.append(f"({r.t},{r.u})".rjust(8)
+                         + f" | {g:>9.3f} {tr:>9.3f}"
+                         + f" | {fat:>8.3f} {tor:>8.3f}")
+    return "\n".join(lines)
+
+
+def claims_report(table: ResultTable, figure_no: int) -> str:
+    """The paper's qualitative claims next to what our sweep measured."""
+    from repro.core.shapes import evaluate_claims
+
+    lines = [f"Figure {figure_no} shape checks:"]
+    for claim, verdict, detail in evaluate_claims(table, figure_no):
+        status = "OK " if verdict else "DIFF"
+        lines.append(f"[{status}] {claim.workload}: {claim.claim}")
+        lines.append(f"       measured: {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Programmatic checks of the paper's qualitative claims ("shapes").
+
+The reproduction cannot (and need not) match the paper's absolute numbers —
+its substrate was the authors' C simulator at 131,072 endpoints — but the
+*orderings* it reports (who wins, by roughly what factor, where trends
+invert) are checkable.  Each function below evaluates one Section 5.2 claim
+against a :class:`~repro.core.explorer.ResultTable` and returns a verdict
+plus the measured evidence; the figure benches and EXPERIMENTS.md consume
+these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.explorer import ResultTable
+from repro.core.paperdata import FigureClaim, claims_for
+
+
+def _series(table: ResultTable, workload: str) -> dict[str, float]:
+    return table.normalised(workload)
+
+
+def _hybrid_values(norm: dict[str, float], family: str, *,
+                   u_max: int | None = None) -> list[float]:
+    out = []
+    for label, v in norm.items():
+        if not label.startswith(family + "("):
+            continue
+        t, u = (int(x) for x in label[len(family) + 1:-1].split(","))
+        if u_max is None or u <= u_max:
+            out.append(v)
+    return out
+
+
+def _check_unstructuredapp(norm: dict[str, float]) -> tuple[bool, str]:
+    dense = _hybrid_values(norm, "nestghc", u_max=2) \
+        + _hybrid_values(norm, "nesttree", u_max=2)
+    best = min(dense)
+    torus = norm["torus"]
+    ok = best <= 1.15 and torus > max(1.5, best * 1.5)
+    return ok, f"best dense hybrid {best:.2f}x fattree, torus {torus:.2f}x"
+
+
+def _check_unstructuredhr(norm: dict[str, float]) -> tuple[bool, str]:
+    ghc = float(np.mean(_hybrid_values(norm, "nestghc")))
+    tree = float(np.mean(_hybrid_values(norm, "nesttree")))
+    ok = ghc <= tree * 1.02
+    return ok, f"mean NestGHC {ghc:.2f} vs NestTree {tree:.2f}"
+
+
+def _check_bisection(norm: dict[str, float]) -> tuple[bool, str]:
+    ghc = float(np.mean(_hybrid_values(norm, "nestghc")))
+    tree = float(np.mean(_hybrid_values(norm, "nesttree")))
+    ok = tree < ghc
+    return ok, f"mean NestTree {tree:.2f} vs NestGHC {ghc:.2f}"
+
+
+def _check_allreduce(norm: dict[str, float]) -> tuple[bool, str]:
+    dense = min(_hybrid_values(norm, "nestghc", u_max=2)
+                + _hybrid_values(norm, "nesttree", u_max=2))
+    if "nesttree(8,8)" not in norm:  # scaled-down sweep without t=8
+        ok = dense <= 1.3
+        return ok, (f"best dense hybrid {dense:.2f}x "
+                    f"((8,8) not evaluable at this scale)")
+    sparse = max(norm["nestghc(8,8)"], norm["nesttree(8,8)"])
+    ok = dense <= 1.3 and sparse >= dense * 1.5
+    return ok, f"best dense hybrid {dense:.2f}x, (8,8) hybrids {sparse:.2f}x"
+
+
+def _check_nbodies(norm: dict[str, float]) -> tuple[bool, str]:
+    torus = norm["torus"]
+    tight = min(norm.get("nestghc(2,1)", np.inf), norm.get("nesttree(2,1)", np.inf))
+    loose = max(norm.get("nestghc(8,8)", 0), norm.get("nesttree(8,8)", 0))
+    ok = torus >= 2.0 and loose > tight
+    return ok, (f"torus {torus:.2f}x; hybrids degrade "
+                f"{tight:.2f} -> {loose:.2f} from (2,1) to (8,8)")
+
+
+def _check_nearneighbors(norm: dict[str, float]) -> tuple[bool, str]:
+    torus = norm["torus"]
+    ok = torus > 1.0
+    return ok, f"torus {torus:.2f}x the fattree despite the matched pattern"
+
+
+def _check_unstructuredmgnt(norm: dict[str, float]) -> tuple[bool, str]:
+    vals = [v for k, v in norm.items() if k != "torus"]
+    spread = max(vals) / min(vals)
+    ok = spread <= 2.5
+    return ok, f"hybrid/fattree spread {spread:.2f}x (light load)"
+
+
+def _check_mapreduce(norm: dict[str, float]) -> tuple[bool, str]:
+    torus = norm["torus"]
+    best_hybrid = min(_hybrid_values(norm, "nestghc")
+                      + _hybrid_values(norm, "nesttree"))
+    ok = torus <= best_hybrid * 1.1
+    return ok, f"torus {torus:.2f}x vs best hybrid {best_hybrid:.2f}x"
+
+
+def _check_reduce(norm: dict[str, float]) -> tuple[bool, str]:
+    vals = list(norm.values())
+    spread = max(vals) / min(vals)
+    ok = spread <= 1.1
+    return ok, f"all topologies within {spread:.3f}x of each other"
+
+
+def _check_inverted_trend(norm: dict[str, float]) -> tuple[bool, str]:
+    torus = norm["torus"]
+    best_other = min(v for k, v in norm.items() if k != "torus")
+    big = [v for k, v in norm.items()
+           if k.startswith(("nestghc(8", "nesttree(8"))]
+    small = [v for k, v in norm.items()
+             if k.startswith(("nestghc(2", "nesttree(2"))]
+    if not big or not small:  # scaled-down sweep without both t extremes
+        ok = torus <= best_other * 1.05
+        return ok, f"torus {torus:.2f}x (t-trend not evaluable at this scale)"
+    helps = float(np.mean(big)) <= float(np.mean(small)) * 1.05
+    ok = torus <= best_other * 1.05 and helps
+    return ok, (f"torus {torus:.2f}x (best), t=8 hybrids mean "
+                f"{np.mean(big):.2f} vs t=2 mean {np.mean(small):.2f}")
+
+
+_CHECKS: dict[str, Callable[[dict[str, float]], tuple[bool, str]]] = {
+    "unstructuredapp": _check_unstructuredapp,
+    "unstructuredhr": _check_unstructuredhr,
+    "bisection": _check_bisection,
+    "allreduce": _check_allreduce,
+    "nbodies": _check_nbodies,
+    "nearneighbors": _check_nearneighbors,
+    "unstructuredmgnt": _check_unstructuredmgnt,
+    "mapreduce": _check_mapreduce,
+    "reduce": _check_reduce,
+    "flood": _check_inverted_trend,
+    "sweep3d": _check_inverted_trend,
+}
+
+
+def evaluate_claims(table: ResultTable, figure_no: int
+                    ) -> list[tuple[FigureClaim, bool, str]]:
+    """Evaluate every claim of one figure against a sweep's results."""
+    out = []
+    present = set(table.workloads())
+    for claim in claims_for(figure_no):
+        if claim.workload not in present:
+            continue
+        norm = _series(table, claim.workload)
+        verdict, detail = _CHECKS[claim.workload](norm)
+        out.append((claim, verdict, detail))
+    return out

@@ -1,0 +1,210 @@
+"""Flow sets: the traffic unit exchanged between workloads and the engine.
+
+A *flow* is a point-to-point transfer of ``size`` bits between two tasks,
+with causal dependencies: a flow may only start once all its predecessor
+flows have completed ("some flows must finish before others are allowed to
+be injected", paper Section 4.1).  A :class:`FlowSet` is the immutable,
+structure-of-arrays form consumed by the simulator; workloads assemble it
+through :class:`FlowBuilder`.
+
+Flows reference *tasks*, not endpoints — the simulator applies a placement
+(task -> endpoint) at routing time, so one workload can be replayed onto any
+topology and mapping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class FlowSet:
+    """Immutable DAG of flows in structure-of-arrays form.
+
+    ``succ_indptr``/``succ_indices`` form a CSR adjacency of the dependency
+    DAG (flow -> flows that must wait for it); ``indegree`` counts each
+    flow's predecessors.
+    """
+
+    num_tasks: int
+    src: np.ndarray        # int64 task ids
+    dst: np.ndarray        # int64 task ids
+    size: np.ndarray       # float64 bits
+    weight: np.ndarray     # float64 bandwidth-sharing weights (default 1.0)
+    indegree: np.ndarray   # int64 predecessor counts
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when any flow carries a non-default bandwidth weight."""
+        return bool((self.weight != 1.0).any())
+
+    @property
+    def num_dependencies(self) -> int:
+        return int(self.succ_indices.shape[0])
+
+    @property
+    def total_bits(self) -> float:
+        return float(self.size.sum())
+
+    def successors(self, flow: int) -> np.ndarray:
+        """Flow ids that directly depend on ``flow``."""
+        return self.succ_indices[self.succ_indptr[flow]:self.succ_indptr[flow + 1]]
+
+    def roots(self) -> np.ndarray:
+        """Flows with no predecessors (injectable at time zero)."""
+        return np.nonzero(self.indegree == 0)[0]
+
+    def topological_order(self) -> np.ndarray:
+        """Kahn topological order; raises on cycles.
+
+        Used for validation and by the static analysis mode.
+        """
+        indeg = self.indegree.copy()
+        order = np.empty(self.num_flows, dtype=np.int64)
+        queue = deque(self.roots().tolist())
+        n = 0
+        while queue:
+            f = queue.popleft()
+            order[n] = f
+            n += 1
+            for s in self.successors(f).tolist():
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    queue.append(s)
+        if n != self.num_flows:
+            raise WorkloadError(
+                f"dependency graph has a cycle ({self.num_flows - n} flows unreachable)")
+        return order
+
+    def dependency_depth(self) -> int:
+        """Length of the longest dependency chain (number of levels)."""
+        if self.num_flows == 0:
+            return 0
+        depth = np.zeros(self.num_flows, dtype=np.int64)
+        for f in self.topological_order().tolist():
+            succ = self.successors(f)
+            if succ.size:
+                np.maximum.at(depth, succ, depth[f] + 1)
+        return int(depth.max()) + 1
+
+
+class FlowBuilder:
+    """Incremental constructor for :class:`FlowSet`.
+
+    Typical workload usage::
+
+        b = FlowBuilder(num_tasks)
+        first = b.add_flow(0, 1, size)
+        b.add_flow(1, 2, size, after=[first])
+        flows = b.build()
+    """
+
+    def __init__(self, num_tasks: int) -> None:
+        if num_tasks < 1:
+            raise WorkloadError("a workload needs at least one task")
+        self.num_tasks = num_tasks
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._size: list[float] = []
+        self._weight: list[float] = []
+        self._dep_pred: list[int] = []
+        self._dep_succ: list[int] = []
+
+    # ------------------------------------------------------------------- add
+    def add_flow(self, src: int, dst: int, size: float,
+                 after: Iterable[int] = (), *, weight: float = 1.0) -> int:
+        """Register a flow and return its id.
+
+        ``after`` lists predecessor flow ids that must complete first.
+        ``weight`` sets the flow's bandwidth-sharing priority (weighted
+        max-min: a weight-2 flow gets twice a weight-1 flow's share on a
+        common bottleneck).
+        """
+        if not 0 <= src < self.num_tasks or not 0 <= dst < self.num_tasks:
+            raise WorkloadError(
+                f"flow endpoints ({src}, {dst}) out of range for "
+                f"{self.num_tasks} tasks")
+        if size <= 0:
+            raise WorkloadError(f"flow size must be positive, got {size}")
+        if weight <= 0:
+            raise WorkloadError(f"flow weight must be positive, got {weight}")
+        fid = len(self._src)
+        self._src.append(src)
+        self._dst.append(dst)
+        self._size.append(float(size))
+        self._weight.append(float(weight))
+        for pred in after:
+            self.add_dependency(pred, fid)
+        return fid
+
+    def add_dependency(self, pred: int, succ: int) -> None:
+        """Require flow ``pred`` to complete before flow ``succ`` starts."""
+        n = len(self._src)
+        if not 0 <= pred < n or not 0 <= succ < n:
+            raise WorkloadError(f"dependency ({pred}, {succ}) references unknown flows")
+        if pred == succ:
+            raise WorkloadError(f"flow {pred} cannot depend on itself")
+        self._dep_pred.append(pred)
+        self._dep_succ.append(succ)
+
+    def barrier(self, preds: Sequence[int], succs: Sequence[int]) -> None:
+        """All of ``succs`` wait for all of ``preds`` (all-pairs dependency).
+
+        Use sparingly: cost is ``len(preds) * len(succs)`` edges.  Prefer
+        per-task dependencies when the workload allows it.
+        """
+        for p in preds:
+            for s in succs:
+                self.add_dependency(p, s)
+
+    def chain(self, flows: Sequence[int]) -> None:
+        """Serialise ``flows``: each one waits for the previous."""
+        for a, b in zip(flows, flows[1:]):
+            self.add_dependency(a, b)
+
+    # ----------------------------------------------------------------- build
+    @property
+    def num_flows(self) -> int:
+        return len(self._src)
+
+    def build(self, *, validate: bool = True) -> FlowSet:
+        """Freeze into a :class:`FlowSet`; validates acyclicity by default."""
+        n = len(self._src)
+        indegree = np.zeros(n, dtype=np.int64)
+        if self._dep_succ:
+            succ_arr = np.asarray(self._dep_succ, dtype=np.int64)
+            pred_arr = np.asarray(self._dep_pred, dtype=np.int64)
+            np.add.at(indegree, succ_arr, 1)
+            order = np.argsort(pred_arr, kind="stable")
+            indices = succ_arr[order]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            counts = np.bincount(pred_arr, minlength=n)
+            np.cumsum(counts, out=indptr[1:])
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+        flows = FlowSet(
+            num_tasks=self.num_tasks,
+            src=np.asarray(self._src, dtype=np.int64),
+            dst=np.asarray(self._dst, dtype=np.int64),
+            size=np.asarray(self._size, dtype=np.float64),
+            weight=np.asarray(self._weight, dtype=np.float64),
+            indegree=indegree,
+            succ_indptr=indptr,
+            succ_indices=indices,
+        )
+        if validate and n:
+            flows.topological_order()  # raises on cycles
+        return flows

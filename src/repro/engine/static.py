@@ -1,0 +1,77 @@
+"""Static (application-independent) analysis mode.
+
+INRFlow "measures several static (application-independent) and dynamic
+(with applications) properties" (paper Section 4.1).  The static mode here
+routes every flow of a workload at once — ignoring causality — and
+accumulates per-link byte loads.  It yields:
+
+* a completion-time lower bound (the most loaded link's drain time),
+* link-load distributions, overall and split by tier (NIC / lower-tier
+  torus / uplinks / upper-tier fabric), which expose *where* a topology
+  concentrates congestion long before a dynamic run finishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.flows import FlowSet
+from repro.engine.results import LinkLoadReport
+from repro.engine.simulator import _check_placement
+from repro.topology.base import Topology
+from repro.topology.hybrid import NestedTopology
+
+
+def analyze(topology: Topology, flows: FlowSet, *,
+            placement: np.ndarray | None = None) -> LinkLoadReport:
+    """Route all flows and report per-link loads and the bottleneck bound."""
+    placement = _check_placement(topology, flows, placement)
+    capacities = topology.links.capacities
+    loads = np.zeros(capacities.shape[0], dtype=np.float64)
+
+    src_ep = placement[flows.src]
+    dst_ep = placement[flows.dst]
+    sizes = flows.size
+    for i in range(flows.num_flows):
+        route = topology.route(int(src_ep[i]), int(dst_ep[i]))
+        loads[route] += sizes[i]
+
+    bottleneck = float(np.max(loads / capacities)) if loads.size else 0.0
+    return LinkLoadReport(
+        loads=loads,
+        capacities=capacities,
+        bottleneck_time=bottleneck,
+        flows_routed=flows.num_flows,
+        tier_loads=_tier_breakdown(topology, loads),
+    )
+
+
+def _tier_breakdown(topology: Topology, loads: np.ndarray) -> dict[str, float]:
+    """Total bits carried per architectural tier."""
+    nic_ids = np.concatenate([topology.injection_links,
+                              topology.consumption_links])
+    nic = float(loads[nic_ids].sum())
+    total = float(loads.sum())
+
+    out = {"nic": nic}
+    num_ep = topology.num_endpoints
+    srcs = topology.links.sources
+    dsts = topology.links.destinations
+    nic_set = set(nic_ids.tolist())
+
+    if isinstance(topology, NestedTopology):
+        lower = upper = access = 0.0
+        for lid in range(topology.links.num_links):
+            if lid in nic_set:
+                continue
+            u, v = srcs[lid], dsts[lid]
+            if u < num_ep and v < num_ep:
+                lower += loads[lid]
+            elif u >= num_ep and v >= num_ep:
+                upper += loads[lid]
+            else:
+                access += loads[lid]
+        out.update(lower_torus=lower, uplinks=access, upper_fabric=upper)
+    else:
+        out["network"] = total - nic
+    return out

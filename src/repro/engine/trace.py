@@ -1,0 +1,76 @@
+"""Timeline export: per-flow trace of a simulation run.
+
+INRFlow-style post-mortem data: one record per flow with its endpoints,
+size, injection and completion times.  Useful for plotting Gantt-style
+timelines, computing per-task statistics, or feeding external analysis
+tools; the CSV schema is stable and covered by tests.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.engine.flows import FlowSet
+from repro.engine.results import SimulationResult
+from repro.errors import SimulationError
+
+CSV_HEADER = "flow,src_task,dst_task,bits,start_s,end_s,duration_s,rate_bps"
+
+
+def timeline_rows(result: SimulationResult, flows: FlowSet
+                  ) -> list[tuple[int, int, int, float, float, float, float, float]]:
+    """Structured per-flow records, ordered by completion time."""
+    if result.num_flows != flows.num_flows:
+        raise SimulationError(
+            "result and flow set disagree on the number of flows")
+    order = np.argsort(result.completion_times, kind="stable")
+    rows = []
+    for fid in order.tolist():
+        start = float(result.start_times[fid])
+        end = float(result.completion_times[fid])
+        duration = end - start
+        bits = float(flows.size[fid])
+        rate = bits / duration if duration > 0 else float("inf")
+        rows.append((fid, int(flows.src[fid]), int(flows.dst[fid]),
+                     bits, start, end, duration, rate))
+    return rows
+
+
+def to_csv(result: SimulationResult, flows: FlowSet) -> str:
+    """Render the timeline as CSV text (header + one line per flow)."""
+    out = io.StringIO()
+    out.write(CSV_HEADER + "\n")
+    for fid, src, dst, bits, start, end, duration, rate in \
+            timeline_rows(result, flows):
+        out.write(f"{fid},{src},{dst},{bits!r},{start!r},{end!r},"
+                  f"{duration!r},{rate!r}\n")
+    return out.getvalue()
+
+
+def per_task_stats(result: SimulationResult, flows: FlowSet
+                   ) -> dict[int, dict[str, float]]:
+    """Per-source-task aggregates: flows sent, bytes, busy span.
+
+    ``busy_span`` is the time from the task's first injection to its last
+    completion — a proxy for how long the rank stayed communication-bound.
+    """
+    if result.num_flows != flows.num_flows:
+        raise SimulationError(
+            "result and flow set disagree on the number of flows")
+    stats: dict[int, dict[str, float]] = {}
+    for fid in range(flows.num_flows):
+        task = int(flows.src[fid])
+        entry = stats.setdefault(task, {
+            "flows": 0.0, "bits": 0.0,
+            "first_start": float("inf"), "last_end": 0.0})
+        entry["flows"] += 1
+        entry["bits"] += float(flows.size[fid])
+        entry["first_start"] = min(entry["first_start"],
+                                   float(result.start_times[fid]))
+        entry["last_end"] = max(entry["last_end"],
+                                float(result.completion_times[fid]))
+    for entry in stats.values():
+        entry["busy_span"] = entry["last_end"] - entry["first_start"]
+    return stats

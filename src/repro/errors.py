@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library problems without also
+swallowing programming errors (``TypeError`` and friends propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology cannot be constructed from the given parameters
+    (non-factorable sizes, invalid uplink densities, odd subtorus sides...)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing function is asked for an impossible path
+    (unknown vertices, unreachable destination under the routing rule)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload cannot be generated for the requested task
+    count (e.g. a 3D-grid workload on a non-cubic task count)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the flow engine detects an inconsistent state
+    (deadlocked dependency graph, flow over a missing link, ...)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment configurations."""

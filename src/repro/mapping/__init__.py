@@ -1,0 +1,13 @@
+"""Task-to-endpoint placement policies."""
+
+from repro.mapping.placement import (block_placement, by_name,
+                                     identity_placement, random_placement,
+                                     spread_placement)
+
+__all__ = [
+    "block_placement",
+    "by_name",
+    "identity_placement",
+    "random_placement",
+    "spread_placement",
+]

@@ -1,0 +1,69 @@
+"""Task -> endpoint placements (INRFlow's "allocation and mapping").
+
+A placement is an integer array of length ``num_tasks`` whose entries are
+distinct endpoint ids.  Policies:
+
+* **identity** — task ``i`` on endpoint ``i`` (consecutive fill, the
+  paper's implied default: virtual grids line up with physical subtori),
+* **block** — consecutive fill starting at an offset,
+* **spread** — tasks spaced evenly across the machine, used when a
+  quadratic workload (MapReduce, n-Bodies) runs fewer tasks than there are
+  endpoints but should still exercise the whole network,
+* **random** — seeded random sample, modelling fragmented allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _check(num_tasks: int, num_endpoints: int) -> None:
+    if num_tasks < 1:
+        raise ConfigError("placement needs at least one task")
+    if num_tasks > num_endpoints:
+        raise ConfigError(
+            f"cannot place {num_tasks} tasks on {num_endpoints} endpoints")
+
+
+def identity_placement(num_tasks: int, num_endpoints: int) -> np.ndarray:
+    """Task ``i`` on endpoint ``i``."""
+    _check(num_tasks, num_endpoints)
+    return np.arange(num_tasks, dtype=np.int64)
+
+
+def block_placement(num_tasks: int, num_endpoints: int, *,
+                    offset: int = 0) -> np.ndarray:
+    """Consecutive endpoints starting at ``offset`` (wrapping around)."""
+    _check(num_tasks, num_endpoints)
+    return (np.arange(num_tasks, dtype=np.int64) + offset) % num_endpoints
+
+
+def spread_placement(num_tasks: int, num_endpoints: int) -> np.ndarray:
+    """Tasks spaced ``num_endpoints // num_tasks`` apart (even coverage)."""
+    _check(num_tasks, num_endpoints)
+    stride = max(1, num_endpoints // num_tasks)
+    return (np.arange(num_tasks, dtype=np.int64) * stride) % num_endpoints
+
+
+def random_placement(num_tasks: int, num_endpoints: int, *,
+                     seed: int = 0) -> np.ndarray:
+    """Distinct random endpoints (seeded, reproducible)."""
+    _check(num_tasks, num_endpoints)
+    rng = np.random.default_rng(seed)
+    return rng.permutation(num_endpoints)[:num_tasks].astype(np.int64)
+
+
+def by_name(name: str, num_tasks: int, num_endpoints: int, *,
+            seed: int = 0) -> np.ndarray:
+    """Dispatch on a policy name (config/CLI entry point)."""
+    if name == "identity":
+        return identity_placement(num_tasks, num_endpoints)
+    if name == "block":
+        return block_placement(num_tasks, num_endpoints)
+    if name == "spread":
+        return spread_placement(num_tasks, num_endpoints)
+    if name == "random":
+        return random_placement(num_tasks, num_endpoints, seed=seed)
+    raise ConfigError(f"unknown placement policy {name!r}")

@@ -1,0 +1,15 @@
+"""Pure routing algorithms.
+
+Each module implements one deterministic routing rule as pure functions over
+coordinates, independent of any concrete topology object, so the algorithms
+can be unit-tested in isolation:
+
+* :mod:`repro.routing.dor` — dimension-order routing on tori/meshes,
+* :mod:`repro.routing.updown` — minimal UP*/DOWN* routing on generalised
+  k-ary n-trees (with d-mod-k up-port selection),
+* :mod:`repro.routing.ecube` — e-cube routing on generalised hypercubes.
+"""
+
+from repro.routing import dor, ecube, updown
+
+__all__ = ["dor", "ecube", "updown"]

@@ -1,0 +1,117 @@
+"""Dimension-order routing (DOR) for tori and meshes.
+
+DOR corrects one dimension at a time, in ascending dimension order, which is
+the deterministic, deadlock-avoidable routing the paper uses inside every
+(sub)torus ("Routing within a subtorus is performed using dimensional order
+routing", Section 4.2).
+
+All functions are pure: they operate on coordinate tuples and per-dimension
+radices and return coordinate sequences.  Mapping coordinates to link ids is
+the topology's job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import RoutingError
+
+Coord = tuple[int, ...]
+
+
+def wrap_delta(src: int, dst: int, radix: int, *, torus: bool = True) -> int:
+    """Return the signed number of hops from ``src`` to ``dst`` along one
+    dimension of radix ``radix``.
+
+    For a torus the shorter wrap-aware direction is chosen; exact ties are
+    broken towards the positive direction.  For a mesh the delta is simply
+    ``dst - src``.
+    """
+    if not 0 <= src < radix or not 0 <= dst < radix:
+        raise RoutingError(f"coordinate out of range: {src}, {dst} for radix {radix}")
+    if not torus:
+        return dst - src
+    forward = (dst - src) % radix
+    backward = forward - radix  # negative
+    if forward <= -backward:  # ties -> positive direction
+        return forward
+    return backward
+
+
+def distance(src: Coord, dst: Coord, radices: Sequence[int], *, torus: bool = True) -> int:
+    """Wrap-aware Manhattan distance between two coordinates."""
+    if len(src) != len(radices) or len(dst) != len(radices):
+        raise RoutingError("coordinate arity does not match radices")
+    return sum(
+        abs(wrap_delta(s, d, k, torus=torus)) for s, d, k in zip(src, dst, radices)
+    )
+
+
+def path(src: Coord, dst: Coord, radices: Sequence[int], *, torus: bool = True) -> list[Coord]:
+    """Return the full coordinate sequence of the DOR path ``src -> dst``.
+
+    The returned list starts with ``src`` and ends with ``dst``
+    (``[src]`` when the endpoints coincide).  Dimensions are corrected in
+    ascending order; within a dimension the wrap-aware shorter direction is
+    used (ties positive).
+    """
+    if len(src) != len(dst) or len(src) != len(radices):
+        raise RoutingError("coordinate arity does not match radices")
+    cur = list(src)
+    out: list[Coord] = [tuple(cur)]
+    for dim, radix in enumerate(radices):
+        delta = wrap_delta(cur[dim], dst[dim], radix, torus=torus)
+        step = 1 if delta > 0 else -1
+        for _ in range(abs(delta)):
+            cur[dim] = (cur[dim] + step) % radix
+            out.append(tuple(cur))
+    return out
+
+
+def coord_to_index(coord: Coord, radices: Sequence[int]) -> int:
+    """Linearise a coordinate: dimension 0 is the fastest-varying digit."""
+    idx = 0
+    for c, k in zip(reversed(coord), reversed(list(radices))):
+        if not 0 <= c < k:
+            raise RoutingError(f"coordinate {coord} out of range for radices {radices}")
+        idx = idx * k + c
+    return idx
+
+
+def index_to_coord(index: int, radices: Sequence[int]) -> Coord:
+    """Inverse of :func:`coord_to_index`."""
+    if index < 0:
+        raise RoutingError(f"negative index {index}")
+    coord = []
+    for k in radices:
+        coord.append(index % k)
+        index //= k
+    if index:
+        raise RoutingError("index out of range for radices")
+    return tuple(coord)
+
+
+def neighbors(coord: Coord, radices: Sequence[int], *, torus: bool = True) -> list[Coord]:
+    """Distinct neighbouring coordinates of ``coord`` (wrap-aware).
+
+    A radix-2 torus dimension contributes a single neighbour (the +1 and -1
+    wraps coincide); a radix-1 dimension contributes none.
+    """
+    out: list[Coord] = []
+    seen = set()
+    for dim, k in enumerate(radices):
+        if k <= 1:
+            continue
+        for step in (1, -1):
+            n = list(coord)
+            if torus:
+                n[dim] = (n[dim] + step) % k
+            else:
+                n[dim] = n[dim] + step
+                if not 0 <= n[dim] < k:
+                    continue
+            t = tuple(n)
+            if t not in seen and t != coord:
+                seen.add(t)
+                out.append(t)
+    return out

@@ -1,0 +1,27 @@
+"""Job scheduling substrate: allocation policies and co-scheduling.
+
+INRFlow "models the behaviour of large-scale parallel systems, including
+... the scheduling policies (selection, allocation and mapping)" (paper
+§4.1).  This package provides that layer: several jobs share one machine,
+an allocation policy assigns each a disjoint set of endpoints, and the
+co-scheduler runs them concurrently through the flow engine, measuring the
+network interference each job suffers relative to running alone.
+"""
+
+from repro.scheduling.allocator import (aligned_allocation,
+                                        contiguous_allocation,
+                                        random_allocation)
+from repro.scheduling.coscheduler import (CoScheduleResult, JobResult,
+                                          coschedule, merge_flowsets)
+from repro.scheduling.jobs import Job
+
+__all__ = [
+    "CoScheduleResult",
+    "Job",
+    "JobResult",
+    "aligned_allocation",
+    "coschedule",
+    "contiguous_allocation",
+    "merge_flowsets",
+    "random_allocation",
+]

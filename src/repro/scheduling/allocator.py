@@ -1,0 +1,97 @@
+"""Node-allocation policies for co-scheduled jobs.
+
+An allocation maps each job to a disjoint array of endpoint ids.  The
+policies model the spectrum real resource managers produce:
+
+* **contiguous** — first-fit consecutive blocks: the tidy, freshly-booted
+  machine.  On the hybrids, consecutive endpoints are consecutive subtorus
+  nodes, so small jobs enjoy full intra-subtorus locality.
+* **random** — uniformly scattered nodes: the long-running, fragmented
+  machine.  This is the fragmentation INRFlow-style studies quantify.
+* **aligned** — whole-subtorus granularity on the hybrid topologies: jobs
+  receive entire subtori (the unit the paper's lower tier naturally
+  isolates), so intra-job traffic of small jobs never shares torus links
+  with other jobs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.topology.base import Topology
+from repro.topology.hybrid import NestedTopology
+
+
+def _check_demand(job_sizes: Sequence[int], capacity: int) -> None:
+    total = sum(job_sizes)
+    if total > capacity:
+        raise ConfigError(
+            f"jobs need {total} endpoints, machine has {capacity}")
+    if any(s < 1 for s in job_sizes):
+        raise ConfigError("every job needs at least one endpoint")
+
+
+def contiguous_allocation(topology: Topology,
+                          job_sizes: Sequence[int]) -> list[np.ndarray]:
+    """First-fit consecutive endpoint blocks."""
+    _check_demand(job_sizes, topology.num_endpoints)
+    out = []
+    cursor = 0
+    for size in job_sizes:
+        out.append(np.arange(cursor, cursor + size, dtype=np.int64))
+        cursor += size
+    return out
+
+
+def random_allocation(topology: Topology, job_sizes: Sequence[int], *,
+                      seed: int = 0) -> list[np.ndarray]:
+    """Uniformly scattered disjoint nodes (fragmented machine)."""
+    _check_demand(job_sizes, topology.num_endpoints)
+    rng = np.random.default_rng(seed)
+    pool = rng.permutation(topology.num_endpoints).astype(np.int64)
+    out = []
+    cursor = 0
+    for size in job_sizes:
+        out.append(np.sort(pool[cursor:cursor + size]))
+        cursor += size
+    return out
+
+
+def aligned_allocation(topology: NestedTopology,
+                       job_sizes: Sequence[int]) -> list[np.ndarray]:
+    """Whole-subtorus allocation on a hybrid topology.
+
+    Each job receives ``ceil(size / t^3)`` complete subtori and uses the
+    first ``size`` nodes of them; no two jobs share a subtorus, so the
+    lower tier isolates their intra-job traffic entirely.
+    """
+    if not isinstance(topology, NestedTopology):
+        raise ConfigError("aligned allocation needs a hybrid topology")
+    nodes = topology.plan.nodes
+    needed = sum(-(-size // nodes) for size in job_sizes)
+    if needed > topology.num_subtori:
+        raise ConfigError(
+            f"jobs need {needed} subtori, machine has {topology.num_subtori}")
+    out = []
+    next_subtorus = 0
+    for size in job_sizes:
+        count = -(-size // nodes)
+        base = next_subtorus * nodes
+        out.append(np.arange(base, base + size, dtype=np.int64))
+        next_subtorus += count
+    return out
+
+
+def by_name(policy: str, topology: Topology, job_sizes: Sequence[int], *,
+            seed: int = 0) -> list[np.ndarray]:
+    """Dispatch on a policy name."""
+    if policy == "contiguous":
+        return contiguous_allocation(topology, job_sizes)
+    if policy == "random":
+        return random_allocation(topology, job_sizes, seed=seed)
+    if policy == "aligned":
+        return aligned_allocation(topology, job_sizes)  # type: ignore[arg-type]
+    raise ConfigError(f"unknown allocation policy {policy!r}")

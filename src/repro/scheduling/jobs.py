@@ -1,0 +1,37 @@
+"""Job descriptions for the co-scheduling layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Job:
+    """One application to co-schedule: a named workload over N tasks.
+
+    ``params`` are forwarded to the workload constructor; ``seed`` keeps
+    each job's traffic reproducible independently of its peers.
+    """
+
+    name: str
+    workload: str
+    tasks: int
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tasks < 2:
+            raise ConfigError(f"job {self.name!r} needs at least 2 tasks")
+
+    def build_workload(self) -> Workload:
+        from repro.workloads import build
+
+        return build(self.workload, self.tasks, seed=self.seed,
+                     **self.params)
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.workload} x {self.tasks} tasks"

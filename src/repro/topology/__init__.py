@@ -1,0 +1,71 @@
+"""Network topologies of the paper's design space.
+
+Concrete families:
+
+* :class:`~repro.topology.torus.TorusTopology` — the Torus3D baseline,
+* :class:`~repro.topology.fattree.FatTreeTopology` — the Fattree baseline,
+* :class:`~repro.topology.ghc.GHCTopology` — standalone generalised hypercube,
+* :class:`~repro.topology.nesttree.NestTree` — subtori nested in a fattree,
+* :class:`~repro.topology.nestghc.NestGHC` — subtori nested in a GHC.
+
+Plus the analysis (:mod:`~repro.topology.analysis`) and cost
+(:mod:`~repro.topology.cost`) models behind the paper's Tables 1 and 2.
+"""
+
+from repro.topology.analysis import PathStats, path_length_stats, routing_diameter
+from repro.topology.base import Topology
+from repro.topology.bisection import (bisection_bandwidth, bisection_cables,
+                                      bisection_per_endpoint)
+from repro.topology.cost import CostModel, overhead_row
+from repro.topology.dragonfly import DragonflyTopology, plan_dragonfly
+from repro.topology.energy import EnergyModel, EnergyReport
+from repro.topology.fattree import FatTreeFabric, FatTreeTopology
+from repro.topology.faults import (VulnerabilityReport, failover_coverage,
+                                   reroute_uplinks, sample_link_failures,
+                                   vulnerability)
+from repro.topology.ghc import GHCFabric, GHCTopology
+from repro.topology.hybrid import NestedTopology, SubtorusPlan
+from repro.topology.jellyfish import JellyfishTopology
+from repro.topology.linktable import LinkTable
+from repro.topology.nestghc import NestGHC
+from repro.topology.nesttree import NestTree
+from repro.topology.registry import available, build, register
+from repro.topology.thintree import ThinTreeFabric, ThinTreeTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "CostModel",
+    "bisection_bandwidth",
+    "bisection_cables",
+    "bisection_per_endpoint",
+    "EnergyModel",
+    "EnergyReport",
+    "VulnerabilityReport",
+    "failover_coverage",
+    "reroute_uplinks",
+    "sample_link_failures",
+    "vulnerability",
+    "DragonflyTopology",
+    "FatTreeFabric",
+    "FatTreeTopology",
+    "JellyfishTopology",
+    "plan_dragonfly",
+    "GHCFabric",
+    "GHCTopology",
+    "LinkTable",
+    "NestGHC",
+    "NestTree",
+    "NestedTopology",
+    "PathStats",
+    "SubtorusPlan",
+    "ThinTreeFabric",
+    "ThinTreeTopology",
+    "Topology",
+    "TorusTopology",
+    "available",
+    "build",
+    "overhead_row",
+    "path_length_stats",
+    "register",
+    "routing_diameter",
+]

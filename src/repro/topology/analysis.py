@@ -1,0 +1,113 @@
+"""Routing-aware topological analysis (paper Table 1).
+
+The paper reports *average distance for uniform traffic* and *diameter*
+under each topology's actual routing function — not graph-theoretic
+shortest paths (hybrid routing is deliberately non-minimal: intra-subtorus
+traffic never uses the upper tier).  This module therefore measures the
+routing functions themselves:
+
+* exact enumeration of all ordered distinct pairs for small systems,
+* seeded uniform pair sampling for full-scale (131,072-endpoint) systems,
+* the exact worst case from each topology's ``routing_diameter()`` method
+  (validated against brute force in the test suite).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+#: Above this many ordered pairs the analysis switches to sampling.
+EXACT_PAIR_LIMIT = 4_000_000
+
+
+@dataclass
+class PathStats:
+    """Distance statistics of a topology under its routing function."""
+
+    topology: str
+    num_endpoints: int
+    average: float
+    maximum: int          # observed maximum (== diameter when exact)
+    exact: bool           # full enumeration vs sampling
+    pairs_measured: int
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    def distribution(self) -> dict[int, float]:
+        """Hop-count histogram normalised to probabilities."""
+        total = sum(self.histogram.values())
+        return {h: c / total for h, c in sorted(self.histogram.items())}
+
+
+def path_length_stats(topo: Topology, *, max_pairs: int = 100_000,
+                      seed: int = 0) -> PathStats:
+    """Average/maximum routed hop count over uniform endpoint pairs.
+
+    Enumerates every ordered distinct pair when that costs no more routing
+    calls than ``max_pairs`` (capped at :data:`EXACT_PAIR_LIMIT`); otherwise
+    samples ``max_pairs`` distinct-pair draws with a seeded generator.
+    """
+    n = topo.num_endpoints
+    total_pairs = n * (n - 1)
+    hist: Counter[int] = Counter()
+    if total_pairs <= min(max_pairs, EXACT_PAIR_LIMIT):
+        exact = True
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    hist[topo.hops(s, d)] += 1
+        measured = total_pairs
+    else:
+        exact = False
+        rng = np.random.default_rng(seed)
+        measured = min(max_pairs, total_pairs)
+        src = rng.integers(0, n, size=measured)
+        dst = rng.integers(0, n - 1, size=measured)
+        dst = np.where(dst >= src, dst + 1, dst)  # uniform over distinct pairs
+        for s, d in zip(src.tolist(), dst.tolist()):
+            hist[topo.hops(s, d)] += 1
+    total = sum(hist.values())
+    avg = sum(h * c for h, c in hist.items()) / total if total else 0.0
+    return PathStats(topology=topo.name, num_endpoints=n, average=avg,
+                     maximum=max(hist) if hist else 0, exact=exact,
+                     pairs_measured=measured, histogram=dict(hist))
+
+
+def routing_diameter(topo: Topology) -> int:
+    """Exact diameter under routing.
+
+    Uses the topology's closed-form ``routing_diameter()`` when available
+    (all shipped topologies provide one), falling back to brute force.
+    """
+    method = getattr(topo, "routing_diameter", None)
+    if method is not None:
+        return int(method())
+    n = topo.num_endpoints
+    return max(topo.hops(s, d) for s in range(n) for d in range(n) if s != d)
+
+
+def shortest_path_check(topo: Topology, *, pairs: int = 200,
+                        seed: int = 0) -> float:
+    """Average routed stretch vs graph shortest paths (sampled).
+
+    1.0 means the routing function is minimal on every sampled pair; hybrid
+    topologies exceed 1.0 by design.  Used by tests and the ablation bench.
+    """
+    import networkx as nx
+
+    g = topo.to_networkx()
+    rng = np.random.default_rng(seed)
+    n = topo.num_endpoints
+    stretches = []
+    for _ in range(pairs):
+        s = int(rng.integers(n))
+        d = int(rng.integers(n - 1))
+        if d >= s:
+            d += 1
+        opt = nx.shortest_path_length(g, s, d)
+        stretches.append(topo.hops(s, d) / opt if opt else 1.0)
+    return float(np.mean(stretches))

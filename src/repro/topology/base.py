@@ -1,0 +1,141 @@
+"""Abstract topology interface.
+
+Vertex-id convention (dense ints, shared by every topology):
+
+* ``0 .. num_endpoints-1``         — endpoints (QFDBs),
+* ``num_endpoints .. +num_switches`` — switches,
+* two *virtual NIC* vertices per endpoint after that — sources/sinks of the
+  injection and consumption links.
+
+Every route produced by :meth:`Topology.route` starts with the source
+endpoint's injection link and ends with the destination endpoint's
+consumption link, both at the nominal link rate.  This models the QFDB's
+finite injection/ejection bandwidth uniformly across all topologies — it is
+what serialises the ``Reduce`` hot-spot identically everywhere (paper §5.2:
+"the consumption port at the root becomes the bottleneck").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.topology.linktable import LinkTable
+from repro.units import DEFAULT_LINK_CAPACITY
+
+
+class Topology(ABC):
+    """A network topology with a deterministic routing function.
+
+    Subclasses build all *network* links in their constructor and finish by
+    calling :meth:`_finalize`, which appends the per-endpoint NIC links and
+    freezes the link table.
+    """
+
+    #: Human-readable topology family name; subclasses override.
+    name: str = "topology"
+
+    def __init__(self, num_endpoints: int, num_switches: int,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY,
+                 nic_capacity: float | None = None) -> None:
+        if num_endpoints <= 0:
+            raise RoutingError("topology needs at least one endpoint")
+        self.num_endpoints = num_endpoints
+        self.num_switches = num_switches
+        self.link_capacity = float(link_capacity)
+        # NIC link rate defaults to the network rate; raising it is the
+        # ablation that de-serialises the Reduce hot-spot (paper §5.2)
+        self.nic_capacity = float(nic_capacity if nic_capacity is not None
+                                  else link_capacity)
+        self.links = LinkTable()
+        self._inj: np.ndarray | None = None
+        self._cons: np.ndarray | None = None
+
+    # ----------------------------------------------------------- construction
+    def _finalize(self) -> None:
+        """Append NIC (injection/consumption) links and freeze the table."""
+        base = self.num_endpoints + self.num_switches
+        inj, cons = [], []
+        for e in range(self.num_endpoints):
+            nic_in = base + e                      # virtual source vertex
+            nic_out = base + self.num_endpoints + e  # virtual sink vertex
+            inj.append(self.links.add(nic_in, e, self.nic_capacity))
+            cons.append(self.links.add(e, nic_out, self.nic_capacity))
+        self._inj = np.asarray(inj, dtype=np.int64)
+        self._cons = np.asarray(cons, dtype=np.int64)
+        self.links.freeze()
+
+    # ---------------------------------------------------------------- routing
+    @abstractmethod
+    def vertex_path(self, src: int, dst: int) -> list[int]:
+        """Deterministic vertex walk from endpoint ``src`` to endpoint ``dst``.
+
+        Returns vertex ids starting with ``src`` and ending with ``dst``
+        (``[src]`` when they coincide).  Every consecutive pair must be a
+        registered link.
+        """
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Link ids traversed by a flow ``src -> dst``, NIC links included."""
+        if self._inj is None or self._cons is None:
+            raise RoutingError("topology not finalised; call _finalize()")
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        body = self.links.path_to_links(self.vertex_path(src, dst))
+        return [int(self._inj[src]), *body, int(self._cons[dst])]
+
+    def hops(self, src: int, dst: int) -> int:
+        """Network hop count of the routed path (NIC links excluded)."""
+        return len(self.vertex_path(src, dst)) - 1
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def injection_links(self) -> np.ndarray:
+        """Per-endpoint injection link ids."""
+        if self._inj is None:
+            raise RoutingError("topology not finalised")
+        return self._inj
+
+    @property
+    def consumption_links(self) -> np.ndarray:
+        """Per-endpoint consumption link ids."""
+        if self._cons is None:
+            raise RoutingError("topology not finalised")
+        return self._cons
+
+    @property
+    def num_network_links(self) -> int:
+        """Directed network links (NIC links excluded)."""
+        return self.links.num_links - 2 * self.num_endpoints
+
+    def describe(self) -> str:
+        """One-line summary used by reports and reprs."""
+        return (f"{self.name}: {self.num_endpoints} endpoints, "
+                f"{self.num_switches} switches, "
+                f"{self.num_network_links} directed network links")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+    def to_networkx(self):
+        """Undirected networkx view of the network graph (tests/analysis).
+
+        NIC links are omitted; each duplex pair collapses to one edge.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_endpoints + self.num_switches))
+        nic_base = self.num_endpoints + self.num_switches
+        for u, v in zip(self.links.sources, self.links.destinations):
+            if u < nic_base and v < nic_base:
+                g.add_edge(u, v)
+        return g
+
+    # ---------------------------------------------------------------- helpers
+    def _check_endpoint(self, e: int) -> None:
+        if not 0 <= e < self.num_endpoints:
+            raise RoutingError(
+                f"endpoint {e} out of range [0, {self.num_endpoints})")

@@ -1,0 +1,96 @@
+"""Closed-form bisection widths of the shipped topologies.
+
+The bisection width — the minimum number of duplex cables crossing any
+balanced cut of the endpoints — is the classic static predictor for the
+paper's *Bisection* workload (random pair-wise exchanges stress exactly
+this cut).  Closed forms:
+
+* **torus** ``k_1 x ... x k_d``: cutting across the largest dimension
+  crosses two wrap boundaries of ``N / k_max`` cables each;
+* **fattree** (non-oversubscribed): full bisection, ``N / 2``;
+* **GHC**: along the dimension minimising it, each row of radix ``k``
+  contributes ``floor(k/2) * ceil(k/2)`` row links across the cut;
+* **hybrids**: subtori are pairwise independent, so a cut that splits the
+  *subtori* in half only crosses the upper tier — the hybrid inherits its
+  fabric's bisection (over ``N/u`` ports), never more.
+
+These are widths of the specific natural cuts (upper bounds on the true
+minimum); for these regular families the natural cut is known to be
+optimal, and the test suite validates the small cases against brute force.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.ghc import GHCFabric, GHCTopology
+from repro.topology.hybrid import NestedTopology
+from repro.topology.nesttree import NestTree
+from repro.topology.torus import TorusTopology
+
+
+def torus_bisection(dims: tuple[int, ...], *, wraparound: bool = True) -> int:
+    """Duplex cables across the balanced cut of a torus/mesh."""
+    n = 1
+    for k in dims:
+        n *= k
+    kmax = max(dims)
+    per_boundary = n // kmax
+    return per_boundary * (2 if wraparound and kmax > 2 else 1)
+
+
+def fattree_bisection(ports: int) -> int:
+    """A non-oversubscribed fattree delivers full bisection."""
+    return ports // 2
+
+
+def ghc_bisection(radices: tuple[int, ...], ports_per_switch: int) -> int:
+    """Minimum over dimensions of the row-cut width of a GHC."""
+    if not radices:
+        # single switch: the "cut" passes through the switch backplane;
+        # model it as the access links of half the ports
+        return max(1, ports_per_switch // 2)
+    n = 1
+    for k in radices:
+        n *= k
+    best = None
+    for k in radices:
+        rows = n // k
+        width = rows * (k // 2) * (k - k // 2)
+        if best is None or width < best:
+            best = width
+    assert best is not None
+    return best
+
+
+def bisection_cables(topology: Topology) -> int:
+    """Bisection width (duplex cables) of any shipped topology."""
+    if isinstance(topology, TorusTopology):
+        return torus_bisection(topology.dims, wraparound=topology.wraparound)
+    if isinstance(topology, FatTreeTopology):
+        return fattree_bisection(topology.num_endpoints)
+    if isinstance(topology, GHCTopology):
+        return ghc_bisection(topology.fabric.radices,
+                             topology.fabric.ports_per_switch)
+    if isinstance(topology, NestedTopology):
+        fabric = topology.fabric
+        if isinstance(fabric, GHCFabric):
+            return ghc_bisection(fabric.radices, fabric.ports_per_switch)
+        return fattree_bisection(fabric.num_ports)
+    raise TopologyError(f"no bisection model for {type(topology).__name__}")
+
+
+def bisection_bandwidth(topology: Topology) -> float:
+    """Aggregate one-direction bandwidth across the cut, bits/s."""
+    return bisection_cables(topology) * topology.link_capacity
+
+
+def bisection_per_endpoint(topology: Topology) -> float:
+    """Normalised bisection: cables per endpoint (1/2 = full bisection)."""
+    return bisection_cables(topology) / topology.num_endpoints
+
+
+def is_nesttree(topology: Topology) -> bool:
+    """Convenience: classify hybrids by upper-tier family (reporting)."""
+    return isinstance(topology, NestTree)

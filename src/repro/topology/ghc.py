@@ -1,0 +1,174 @@
+"""Generalised hypercube (GHC) fabric and endpoint topology.
+
+A GHC over mixed radices ``(k_1, ..., k_d)`` fully connects each dimension:
+two switches are linked whenever their coordinates differ in exactly one
+position, so one hop corrects an entire coordinate (Bhuyan & Agrawal, 1984).
+Routing is e-cube (dimensions corrected in ascending order).
+
+As in BCube-style deployments (the paper's stated inspiration for its GHC
+upper tier), several endpoints share one GHC switch; the default of 16
+endpoints per switch reproduces the paper's full-scale switch count of
+8,192 for 131,072 uplinks at density u=1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import TopologyError
+from repro.routing import ecube
+from repro.topology.base import Topology
+from repro.topology.linktable import LinkTable
+from repro.topology.planner import ghc_radices
+from repro.units import DEFAULT_LINK_CAPACITY
+
+#: Endpoints attached to each GHC switch (ExaNeSt full scale: 131072/8192).
+DEFAULT_PORTS_PER_SWITCH = 16
+
+
+class GHCFabric:
+    """Switch-level structure of a generalised hypercube.
+
+    Local switch ids are the mixed-radix linearisation of the coordinates
+    (dimension 0 fastest-varying).  ``ports_per_switch`` consecutive ports
+    share each switch.
+    """
+
+    def __init__(self, radices: Sequence[int], ports_per_switch: int) -> None:
+        radices = tuple(int(k) for k in radices)
+        if any(k < 2 for k in radices):
+            raise TopologyError(f"invalid GHC radices {radices}")
+        # an empty radix tuple is the degenerate single-switch fabric
+        # (all ports on one switch; no GHC links)
+        if ports_per_switch < 1:
+            raise TopologyError("ports_per_switch must be >= 1")
+        self.radices = radices
+        self.ports_per_switch = ports_per_switch
+        self.num_switches = 1
+        for k in radices:
+            self.num_switches *= k
+        self.num_ports = self.num_switches * ports_per_switch
+
+    @classmethod
+    def for_ports(cls, ports: int,
+                  ports_per_switch: int | None = None,
+                  dims: int = 4) -> "GHCFabric":
+        """Plan radices for ``ports`` uplinks.
+
+        With ``ports_per_switch=None`` (the default) the attach density is
+        chosen automatically: the largest density ``<= 16`` whose fabric
+        degree is at least twice the density.  At the paper's full scale
+        this picks 16 endpoints per switch (8192 switches for 131,072
+        uplinks, degree 36 — Table 2's u=1 row); at scaled-down sizes it
+        keeps the fabric provisioned in the same proportion instead of
+        collapsing onto a handful of low-degree switches.
+
+        An explicit ``ports_per_switch`` is honoured (lowered to the
+        largest divisor of ``ports`` so every switch hosts the same count).
+        """
+        if ports_per_switch is not None:
+            pps = min(ports_per_switch, ports)
+            while ports % pps:
+                pps -= 1
+            return cls(ghc_radices(ports // pps, dims), pps)
+        best = 1
+        for pps in range(min(DEFAULT_PORTS_PER_SWITCH, ports), 0, -1):
+            if ports % pps:
+                continue
+            radices = ghc_radices(ports // pps, dims)
+            if sum(k - 1 for k in radices) >= 2 * pps:
+                best = pps
+                break
+            best = max(best, 1)
+        return cls(ghc_radices(ports // best, dims), best)
+
+    # -------------------------------------------------------------- indexing
+    def coord_of(self, switch: int) -> tuple[int, ...]:
+        """Mixed-radix coordinates of a local switch id."""
+        if not 0 <= switch < self.num_switches:
+            raise TopologyError(f"GHC switch {switch} out of range")
+        coord = []
+        for k in self.radices:
+            coord.append(switch % k)
+            switch //= k
+        return tuple(coord)
+
+    def index_of(self, coord: Sequence[int]) -> int:
+        """Inverse of :meth:`coord_of`."""
+        idx = 0
+        for c, k in zip(reversed(tuple(coord)), reversed(self.radices)):
+            if not 0 <= c < k:
+                raise TopologyError(f"GHC coordinate {coord} out of range")
+            idx = idx * k + c
+        return idx
+
+    def port_switch(self, port: int) -> int:
+        """Local switch id owning a port."""
+        if not 0 <= port < self.num_ports:
+            raise TopologyError(f"GHC port {port} out of range")
+        return port // self.ports_per_switch
+
+    # ------------------------------------------------------------------ build
+    def build_links(self, links: LinkTable, offset: int, capacity: float) -> None:
+        """Register every duplex switch-to-switch link, ids offset by ``offset``."""
+        for sw in range(self.num_switches):
+            coord = self.coord_of(sw)
+            stride = 1
+            for dim, k in enumerate(self.radices):
+                for v in range(coord[dim] + 1, k):
+                    other = sw + (v - coord[dim]) * stride
+                    links.add_duplex(offset + sw, offset + other, capacity)
+                stride *= k
+
+    # ---------------------------------------------------------------- routing
+    def port_path(self, src_port: int, dst_port: int) -> list[int]:
+        """Local switch-id sequence between two distinct ports (e-cube)."""
+        if src_port == dst_port:
+            raise TopologyError("no switch path between identical ports")
+        a, b = self.port_switch(src_port), self.port_switch(dst_port)
+        if a == b:
+            return [a]
+        coords = ecube.path(self.coord_of(a), self.coord_of(b), self.radices)
+        return [self.index_of(c) for c in coords]
+
+    # --------------------------------------------------------------- analysis
+    def routing_diameter(self) -> int:
+        """Worst-case port-to-port hop count (access links included)."""
+        return len(self.radices) + 2
+
+    def switch_degree(self) -> int:
+        """Network degree of each switch (fabric links only)."""
+        return ecube.degree(self.radices)
+
+
+class GHCTopology(Topology):
+    """Standalone generalised hypercube with endpoints attached to switches."""
+
+    name = "ghc"
+
+    def __init__(self, radices: Sequence[int],
+                 ports_per_switch: int = DEFAULT_PORTS_PER_SWITCH, *,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY,
+                 nic_capacity: float | None = None) -> None:
+        fabric = GHCFabric(radices, ports_per_switch)
+        super().__init__(fabric.num_ports, fabric.num_switches,
+                         link_capacity, nic_capacity)
+        self.fabric = fabric
+        offset = self.num_endpoints
+        fabric.build_links(self.links, offset, link_capacity)
+        for e in range(self.num_endpoints):
+            self.links.add_duplex(e, offset + fabric.port_switch(e), link_capacity)
+        self._switch_offset = offset
+        self._finalize()
+
+    def vertex_path(self, src: int, dst: int) -> list[int]:
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [src]
+        body = [self._switch_offset + s for s in self.fabric.port_path(src, dst)]
+        return [src, *body, dst]
+
+    def routing_diameter(self) -> int:
+        """Worst-case endpoint-to-endpoint hop count."""
+        return self.fabric.routing_diameter()

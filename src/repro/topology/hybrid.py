@@ -1,0 +1,225 @@
+"""Hybrid multi-tier machinery: subtorus partitioning and uplink placement.
+
+The paper's hybrid topologies keep the hardware-imposed torus at the lower
+tier, but *partition* it: the system is a collection of independent
+``t x t x t`` subtori, and all inter-subtorus traffic crosses an upper-tier
+fabric (a fattree for NestTree, a GHC for NestGHC).
+
+Uplink density follows Fig. 3 of the paper: one uplink per ``u`` QFDBs,
+``u in {1, 2, 4, 8}``, placed within each 2x2x2 subgrid of the subtorus:
+
+* ``u = 1`` — every node is uplinked,
+* ``u = 2`` — nodes with even X; the others reach one in a single X hop,
+* ``u = 4`` — two opposite vertices of each 2x2x2 subgrid, so every node is
+  at most one hop from its designated uplink,
+* ``u = 8`` — the subgrid root only; up to three hops away.
+
+Routing (paper Section 4.2): intra-subtorus traffic *always stays inside the
+subtorus* (DOR); inter-subtorus traffic goes DOR to the source's designated
+uplink node, minimally across the upper fabric, then DOR from the
+destination's designated uplink node to the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import TopologyError
+from repro.routing import dor
+from repro.topology.base import Topology
+from repro.topology.linktable import LinkTable
+from repro.units import DEFAULT_LINK_CAPACITY
+
+#: Densities supported by the paper's placement rules.
+VALID_DENSITIES = (1, 2, 4, 8)
+
+
+class UpperFabric(Protocol):
+    """What a hybrid needs from its upper tier (fattree or GHC)."""
+
+    num_ports: int
+    num_switches: int
+
+    def build_links(self, links: LinkTable, offset: int, capacity: float) -> None: ...
+    def port_switch(self, port: int) -> int: ...
+    def port_path(self, src_port: int, dst_port: int) -> list[int]: ...
+    def routing_diameter(self) -> int: ...
+
+
+class SubtorusPlan:
+    """Geometry of one subtorus: uplinked nodes and designated uplinks.
+
+    Local node ids linearise ``(x, y, z)`` with x fastest; the same plan is
+    replicated across every subtorus of the system.
+    """
+
+    def __init__(self, t: int, u: int) -> None:
+        if u not in VALID_DENSITIES:
+            raise TopologyError(f"uplink density u={u} not in {VALID_DENSITIES}")
+        if t < 1:
+            raise TopologyError(f"subtorus side t={t} must be positive")
+        if u > 1 and t % 2:
+            raise TopologyError(
+                f"density u={u} needs an even subtorus side, got t={t}")
+        self.t = t
+        self.u = u
+        self.dims = (t, t, t)
+        self.nodes = t ** 3
+        if self.nodes % u:
+            raise TopologyError(f"subtorus of {self.nodes} nodes not divisible by u={u}")
+
+        uplinked: list[int] = []
+        designated: list[int] = []
+        for local in range(self.nodes):
+            x, y, z = dor.index_to_coord(local, self.dims)
+            if self._is_uplinked(x, y, z):
+                uplinked.append(local)
+            designated.append(dor.coord_to_index(self._designated(x, y, z), self.dims))
+        self.uplinked = uplinked                      # ascending local ids
+        self.designated = designated                  # local id -> local uplink id
+        self.uplink_rank = {l: i for i, l in enumerate(uplinked)}
+        if len(uplinked) != self.nodes // u:          # placement-rule sanity
+            raise TopologyError(
+                f"placement produced {len(uplinked)} uplinks, expected {self.nodes // u}")
+
+    # ------------------------------------------------------------- placement
+    def _is_uplinked(self, x: int, y: int, z: int) -> bool:
+        if self.u == 1:
+            return True
+        if self.u == 2:
+            return x % 2 == 0
+        if self.u == 4:
+            return (x % 2, y % 2, z % 2) in ((0, 0, 0), (1, 1, 1))
+        return x % 2 == 0 and y % 2 == 0 and z % 2 == 0  # u == 8
+
+    def _designated(self, x: int, y: int, z: int) -> tuple[int, int, int]:
+        """The uplinked node this node routes through (Fig. 3 arrows)."""
+        if self.u == 1:
+            return (x, y, z)
+        bx, by, bz = x - x % 2, y - y % 2, z - z % 2  # 2x2x2 subgrid base
+        if self.u == 2:
+            return (bx, y, z)
+        if self.u == 4:
+            # nearest of the two opposite subgrid vertices (<= 1 hop)
+            if (x % 2) + (y % 2) + (z % 2) <= 1:
+                return (bx, by, bz)
+            return (bx + 1, by + 1, bz + 1)
+        return (bx, by, bz)  # u == 8: subgrid root
+
+    # --------------------------------------------------------------- metrics
+    def max_hops_to_uplink(self) -> int:
+        """Worst-case DOR hops from a node to its designated uplink."""
+        return max(
+            dor.distance(dor.index_to_coord(l, self.dims),
+                         dor.index_to_coord(d, self.dims), self.dims)
+            for l, d in enumerate(self.designated)
+        )
+
+    def intra_diameter(self) -> int:
+        """DOR diameter of the subtorus itself."""
+        return sum(k // 2 for k in self.dims)
+
+
+class NestedTopology(Topology):
+    """A system of independent subtori nested under an upper fabric.
+
+    Endpoint ids: subtorus ``s``, local node ``l`` -> ``s * t^3 + l``.
+    Upper-fabric port ``p`` enumerates uplinked nodes subtorus-major, in
+    ascending local id.
+    """
+
+    name = "nested"
+
+    def __init__(self, num_endpoints: int, plan: SubtorusPlan,
+                 fabric: UpperFabric, *,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY,
+                 nic_capacity: float | None = None) -> None:
+        if num_endpoints % plan.nodes:
+            raise TopologyError(
+                f"{num_endpoints} endpoints do not tile {plan.nodes}-node subtori")
+        num_subtori = num_endpoints // plan.nodes
+        ports_needed = num_subtori * len(plan.uplinked)
+        if fabric.num_ports != ports_needed:
+            raise TopologyError(
+                f"fabric has {fabric.num_ports} ports, hybrid needs {ports_needed}")
+        super().__init__(num_endpoints, fabric.num_switches,
+                         link_capacity, nic_capacity)
+        self.plan = plan
+        self.fabric = fabric
+        self.num_subtori = num_subtori
+        self._switch_offset = num_endpoints
+
+        # lower tier: one independent torus per subtorus
+        for s in range(num_subtori):
+            base = s * plan.nodes
+            for local in range(plan.nodes):
+                coord = dor.index_to_coord(local, plan.dims)
+                for nb in dor.neighbors(coord, plan.dims):
+                    self.links.add(base + local,
+                                   base + dor.coord_to_index(nb, plan.dims),
+                                   link_capacity)
+        # upper tier fabric + uplink access links
+        fabric.build_links(self.links, self._switch_offset, link_capacity)
+        uplinks_per_subtorus = len(plan.uplinked)
+        for s in range(num_subtori):
+            base = s * plan.nodes
+            for rank, local in enumerate(plan.uplinked):
+                port = s * uplinks_per_subtorus + rank
+                self.links.add_duplex(base + local,
+                                      self._switch_offset + fabric.port_switch(port),
+                                      link_capacity)
+        self._finalize()
+
+    # ---------------------------------------------------------------- helpers
+    def subtorus_of(self, endpoint: int) -> int:
+        """Which subtorus an endpoint belongs to."""
+        self._check_endpoint(endpoint)
+        return endpoint // self.plan.nodes
+
+    def port_of(self, endpoint: int) -> int:
+        """Upper-fabric port of an *uplinked* endpoint."""
+        s, local = divmod(endpoint, self.plan.nodes)
+        try:
+            rank = self.plan.uplink_rank[local]
+        except KeyError:
+            raise TopologyError(f"endpoint {endpoint} has no uplink") from None
+        return s * len(self.plan.uplinked) + rank
+
+    def designated_uplink(self, endpoint: int) -> int:
+        """The uplinked endpoint that carries this endpoint's upper-tier traffic."""
+        s, local = divmod(endpoint, self.plan.nodes)
+        return s * self.plan.nodes + self.plan.designated[local]
+
+    def _local_path(self, a: int, b: int) -> list[int]:
+        """DOR walk between two endpoints of the same subtorus (global ids)."""
+        s = a // self.plan.nodes
+        base = s * self.plan.nodes
+        coords = dor.path(dor.index_to_coord(a - base, self.plan.dims),
+                          dor.index_to_coord(b - base, self.plan.dims),
+                          self.plan.dims)
+        return [base + dor.coord_to_index(c, self.plan.dims) for c in coords]
+
+    # ---------------------------------------------------------------- routing
+    def vertex_path(self, src: int, dst: int) -> list[int]:
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [src]
+        if self.subtorus_of(src) == self.subtorus_of(dst):
+            return self._local_path(src, dst)  # never leaves the subtorus
+        us = self.designated_uplink(src)
+        ud = self.designated_uplink(dst)
+        up = self._local_path(src, us)
+        switches = [self._switch_offset + s
+                    for s in self.fabric.port_path(self.port_of(us), self.port_of(ud))]
+        down = self._local_path(ud, dst)
+        return up + switches + down
+
+    # --------------------------------------------------------------- analysis
+    def routing_diameter(self) -> int:
+        """Exact worst-case hop count under the nested routing rule."""
+        to_uplink = self.plan.max_hops_to_uplink()
+        inter = to_uplink + 1 + self.fabric.routing_diameter() - 2 + 1 + to_uplink
+        if self.num_subtori == 1:
+            return self.plan.intra_diameter()
+        return max(self.plan.intra_diameter(), inter)

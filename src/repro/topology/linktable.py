@@ -1,0 +1,113 @@
+"""Directed-link registry shared by all topologies.
+
+The flow engine never manipulates graph structure: it only sees *link ids*
+and a capacity vector.  :class:`LinkTable` is the bridge — topologies
+register every directed link (network links, plus one injection and one
+consumption link per endpoint) and translate vertex paths into link-id
+arrays.
+
+Links are directed: a full-duplex cable between vertices ``u`` and ``v`` is
+two independent links, matching the paper's transceiver model where each
+direction carries 10 Gbps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+class LinkTable:
+    """Registry mapping directed vertex pairs to dense link ids."""
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[int, int], int] = {}
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._cap: list[float] = []
+        self._frozen: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ build
+    def add(self, u: int, v: int, capacity: float) -> int:
+        """Register the directed link ``u -> v`` and return its id.
+
+        Re-registering an existing pair is an error: topologies are expected
+        to enumerate their links exactly once.
+        """
+        if self._frozen is not None:
+            raise TopologyError("LinkTable is frozen; no more links may be added")
+        if capacity <= 0:
+            raise TopologyError(f"link capacity must be positive, got {capacity}")
+        key = (u, v)
+        if key in self._ids:
+            raise TopologyError(f"duplicate link {u} -> {v}")
+        link_id = len(self._src)
+        self._ids[key] = link_id
+        self._src.append(u)
+        self._dst.append(v)
+        self._cap.append(capacity)
+        return link_id
+
+    def add_duplex(self, u: int, v: int, capacity: float) -> tuple[int, int]:
+        """Register both directions of a full-duplex cable."""
+        return self.add(u, v, capacity), self.add(v, u, capacity)
+
+    def freeze(self) -> None:
+        """Finalise the table; capacities become an immutable numpy vector."""
+        if self._frozen is None:
+            self._frozen = np.asarray(self._cap, dtype=np.float64)
+            self._frozen.setflags(write=False)
+
+    # ----------------------------------------------------------------- lookup
+    def id_of(self, u: int, v: int) -> int:
+        """Link id of the directed pair ``u -> v``; raises if absent."""
+        try:
+            return self._ids[(u, v)]
+        except KeyError:
+            raise TopologyError(f"no link {u} -> {v}") from None
+
+    def has(self, u: int, v: int) -> bool:
+        """True when the directed link ``u -> v`` exists."""
+        return (u, v) in self._ids
+
+    def endpoints_of(self, link_id: int) -> tuple[int, int]:
+        """The ``(src, dst)`` vertex pair of a link id."""
+        if not 0 <= link_id < len(self._src):
+            raise TopologyError(f"unknown link id {link_id}")
+        return self._src[link_id], self._dst[link_id]
+
+    def path_to_links(self, vertices: list[int]) -> list[int]:
+        """Translate a vertex walk into the list of traversed link ids."""
+        ids = self._ids
+        try:
+            return [ids[(vertices[i], vertices[i + 1])] for i in range(len(vertices) - 1)]
+        except KeyError as exc:
+            raise TopologyError(f"walk uses missing link {exc.args[0]}") from None
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_links(self) -> int:
+        """Total number of directed links registered."""
+        return len(self._src)
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Immutable per-link capacity vector (bits/s); freezes the table."""
+        self.freeze()
+        assert self._frozen is not None
+        return self._frozen
+
+    @property
+    def sources(self) -> list[int]:
+        """Source vertex per link id (list indexable by link id)."""
+        return self._src
+
+    @property
+    def destinations(self) -> list[int]:
+        """Destination vertex per link id (list indexable by link id)."""
+        return self._dst
+
+    def pairs(self) -> dict[tuple[int, int], int]:
+        """A copy of the ``(u, v) -> id`` mapping (for tests/analysis)."""
+        return dict(self._ids)

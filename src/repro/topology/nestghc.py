@@ -1,0 +1,43 @@
+"""NestGHC(t, u): subtori nested into a generalised-hypercube upper tier."""
+
+from __future__ import annotations
+
+from repro.topology.ghc import GHCFabric
+from repro.topology.hybrid import NestedTopology, SubtorusPlan
+from repro.units import DEFAULT_LINK_CAPACITY
+
+
+class NestGHC(NestedTopology):
+    """The paper's NestGHC(t, u) hybrid.
+
+    Same lower tier as :class:`~repro.topology.nesttree.NestTree`; the upper
+    tier is a 4-dimensional generalised hypercube of switches, each hosting
+    ``ports_per_switch`` uplinked QFDBs.  The default (None) sizes the
+    attach density automatically: 16 per switch at the paper's full scale —
+    reproducing its 8,192 switches for 131,072 uplinks at u=1 — and
+    proportionally fewer on scaled-down systems so the fabric keeps the
+    same degree-to-density provisioning.  The 4-D default matches the
+    diameters implied by Table 1 (endpoint diameter 6 at u=1).
+    """
+
+    name = "nestghc"
+
+    def __init__(self, num_endpoints: int, t: int, u: int, *,
+                 ports_per_switch: int | None = None,
+                 ghc_dims: int = 4,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY,
+                 nic_capacity: float | None = None) -> None:
+        plan = SubtorusPlan(t, u)
+        fabric = GHCFabric.for_ports(num_endpoints // u,
+                                     ports_per_switch, ghc_dims)
+        super().__init__(num_endpoints, plan, fabric,
+                         link_capacity=link_capacity,
+                         nic_capacity=nic_capacity)
+        self.t = t
+        self.u = u
+
+    def describe(self) -> str:
+        base = super().describe()
+        return (f"{base} [t={self.t}, u={self.u}, "
+                f"upper GHC radices {self.fabric.radices}, "
+                f"{self.fabric.ports_per_switch} uplinks/switch]")

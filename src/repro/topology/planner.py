@@ -1,0 +1,95 @@
+"""Sizing helpers: factorising port counts into stage arities and radices.
+
+The paper under-specifies the exact switch configurations, but its Table 2
+switch counts pin the full-scale fattree arities down to ``(32, 32, 128)``
+for 131,072 ports (and ``(32, 32, P/1024)`` for the thinner upper tiers).
+This module reproduces that sizing rule at full scale and falls back to a
+balanced factorisation for scaled-down systems, so experiments behave the
+same shape-wise at any power-of-two size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorisation of ``n`` (ascending, with multiplicity)."""
+    if n < 1:
+        raise TopologyError(f"cannot factorise {n}")
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def balanced_factors(n: int, parts: int) -> tuple[int, ...]:
+    """Split ``n`` into ``parts`` factors as close to equal as possible.
+
+    Greedy: assign prime factors (largest first) to the currently smallest
+    bucket.  Returns factors sorted ascending; factors of 1 are allowed only
+    when ``n`` has fewer prime factors than ``parts``.
+    """
+    if parts < 1:
+        raise TopologyError("parts must be >= 1")
+    buckets = [1] * parts
+    for p in sorted(prime_factors(n), reverse=True):
+        buckets.sort()
+        buckets[0] *= p
+    return tuple(sorted(buckets))
+
+
+def fattree_arities(ports: int, stages: int = 3) -> tuple[int, ...]:
+    """Down-arities ``(k_1, .., k_n)`` of the upper-tier fattree.
+
+    Uses the paper's full-scale rule — two radix-32 lower stages and a top
+    stage absorbing the rest — whenever it applies (this reproduces Table 2's
+    switch counts exactly); otherwise falls back to a balanced split.
+    """
+    if ports < 2:
+        raise TopologyError(f"a fattree needs at least 2 ports, got {ports}")
+    # the paper's full-scale configurations: (32, 32, 16..128) covers its
+    # u = 8..1 upper tiers; smaller systems get a balanced split instead
+    if stages == 3 and ports % 1024 == 0 and 16 <= ports // 1024 <= 128:
+        return (32, 32, ports // 1024)
+    arities = balanced_factors(ports, stages)
+    if arities[0] < 2:
+        # too few prime factors for this many stages; drop empty stages
+        arities = tuple(k for k in arities if k > 1)
+        if not arities:
+            raise TopologyError(f"cannot build a fattree over {ports} ports")
+    return arities
+
+
+def ghc_radices(num_vertices: int, dims: int = 4) -> tuple[int, ...]:
+    """Mixed radices of the upper-tier generalised hypercube.
+
+    The paper's Table 1 diameters imply a 4-dimensional GHC upper tier at
+    every density (endpoint-to-endpoint diameter 6 at u=1 means 4 switch
+    hops), so the default is four near-balanced dimensions.  Dimensions of
+    radix 1 are dropped for small vertex counts.
+    """
+    if num_vertices < 1:
+        raise TopologyError(f"a GHC needs at least 1 vertex, got {num_vertices}")
+    if num_vertices == 1:
+        return ()  # degenerate single-switch fabric (no GHC links)
+    return tuple(k for k in balanced_factors(num_vertices, dims) if k > 1)
+
+
+def torus_dims(num_endpoints: int, dims: int = 3) -> tuple[int, ...]:
+    """Near-balanced torus dimensions (full scale: 131072 -> 32x64x64).
+
+    Sorted ascending so the reference 131,072-endpoint system matches the
+    paper's torus (diameter 80, average distance ~40).
+    """
+    shape = balanced_factors(num_endpoints, dims)
+    if shape[0] < 2:
+        raise TopologyError(
+            f"{num_endpoints} endpoints cannot fill a {dims}-D torus")
+    return shape

@@ -1,0 +1,128 @@
+"""Name-based topology construction for configs, CLI and sweeps.
+
+Specs are ``(family, params)`` pairs; the registry turns them into concrete
+:class:`~repro.topology.base.Topology` objects for a given endpoint count.
+The four families of the paper's evaluation are pre-registered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.topology.base import Topology
+from repro.topology.dragonfly import DragonflyTopology, plan_dragonfly
+from repro.topology.jellyfish import JellyfishTopology
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.ghc import GHCTopology
+from repro.topology.nestghc import NestGHC
+from repro.topology.nesttree import NestTree
+from repro.topology.planner import ghc_radices
+from repro.topology.thintree import ThinTreeTopology
+from repro.topology.torus import TorusTopology
+
+Builder = Callable[[int, Mapping[str, Any]], Topology]
+
+_REGISTRY: dict[str, Builder] = {}
+
+
+def register(name: str, builder: Builder) -> None:
+    """Register a topology family under a unique name."""
+    if name in _REGISTRY:
+        raise ConfigError(f"topology family {name!r} already registered")
+    _REGISTRY[name] = builder
+
+
+def available() -> list[str]:
+    """Sorted names of all registered families."""
+    return sorted(_REGISTRY)
+
+
+def build(name: str, num_endpoints: int, **params: Any) -> Topology:
+    """Construct a topology by family name.
+
+    >>> build("nesttree", 4096, t=2, u=4).name
+    'nesttree'
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown topology {name!r}; available: {available()}") from None
+    return builder(num_endpoints, params)
+
+
+# --------------------------------------------------------------------- stock
+def _torus(n: int, p: Mapping[str, Any]) -> Topology:
+    extra = {k: v for k, v in p.items() if k not in ("dims",)}
+    if "dims" in p and not isinstance(p["dims"], int):
+        return TorusTopology(p["dims"], **extra)
+    return TorusTopology.cubic(n, p.get("dims", 3), **extra)
+
+
+def _fattree(n: int, p: Mapping[str, Any]) -> Topology:
+    extra = {k: v for k, v in p.items() if k not in ("arities", "stages")}
+    if "arities" in p:
+        return FatTreeTopology(p["arities"], **extra)
+    return FatTreeTopology.for_ports(n, p.get("stages", 3), **extra)
+
+
+def _ghc(n: int, p: Mapping[str, Any]) -> Topology:
+    pps = p.get("ports_per_switch", 16)
+    extra = {k: v for k, v in p.items()
+             if k not in ("radices", "ports_per_switch", "dims")}
+    if "radices" in p:
+        return GHCTopology(p["radices"], pps, **extra)
+    if n % pps:
+        raise ConfigError(f"{n} endpoints not divisible by {pps} per switch")
+    return GHCTopology(ghc_radices(n // pps, p.get("dims", 4)), pps, **extra)
+
+
+def _thintree(n: int, p: Mapping[str, Any]) -> Topology:
+    from repro.topology.planner import fattree_arities
+
+    extra = {k: v for k, v in p.items()
+             if k not in ("down_arities", "up_arities", "oversubscription")}
+    if "down_arities" in p:
+        return ThinTreeTopology(p["down_arities"], p["up_arities"], **extra)
+    down = fattree_arities(n, 3)
+    ratio = int(p.get("oversubscription", 2))
+    up = tuple(max(1, k // ratio) for k in down[:-1])
+    return ThinTreeTopology(down, up, **extra)
+
+
+def _nesttree(n: int, p: Mapping[str, Any]) -> Topology:
+    return NestTree(n, **dict(p))
+
+
+def _nestghc(n: int, p: Mapping[str, Any]) -> Topology:
+    return NestGHC(n, **dict(p))
+
+
+def _dragonfly(n: int, p: Mapping[str, Any]) -> Topology:
+    extra = {k: v for k, v in p.items()
+             if k not in ("p", "a", "h", "groups")}
+    if {"p", "a", "h", "groups"} <= set(p):
+        return DragonflyTopology(p["p"], p["a"], p["h"], p["groups"], **extra)
+    return DragonflyTopology(*plan_dragonfly(n), **extra)
+
+
+def _jellyfish(n: int, p: Mapping[str, Any]) -> Topology:
+    pps = p.get("ports_per_switch", 4)
+    degree = p.get("degree", 8)
+    extra = {k: v for k, v in p.items()
+             if k not in ("degree", "ports_per_switch")}
+    if n % pps:
+        raise ConfigError(f"{n} endpoints not divisible by {pps} per switch")
+    return JellyfishTopology(n // pps, degree, pps, **extra)
+
+
+register("torus", _torus)
+register("fattree", _fattree)
+register("thintree", _thintree)
+register("ghc", _ghc)
+register("nesttree", _nesttree)
+register("nestghc", _nestghc)
+register("dragonfly", _dragonfly)
+register("jellyfish", _jellyfish)

@@ -1,0 +1,191 @@
+"""Thin trees: k:k'-ary n-trees (over-subscribed fattrees).
+
+The paper deliberately applies *no* over-subscription to its fattrees
+(Section 4.2), citing the authors' own thin-tree work (Navaridas et al.,
+"Reducing complexity in tree-like computer interconnection networks").
+This module implements that cited family so the cost/performance knob can
+actually be explored: a level-``l`` switch has ``k_l`` down-ports but only
+``u_l <= k_l`` up-ports, thinning the tree towards the root by the
+over-subscription ratio ``prod(k_l / u_l)``.
+
+Construction generalises the fattree's switch-identity scheme
+(:mod:`repro.routing.updown`): intra-subtree switch digits at level ``l``
+range over ``u_1 x ... x u_{l-1}`` instead of ``k_1 x ... x k_{l-1}``, and
+the d-mod-k up-port choice reduces the destination digit modulo ``u_l``.
+With ``u == k`` the layout and routes coincide with the fattree exactly
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.linktable import LinkTable
+from repro.units import DEFAULT_LINK_CAPACITY
+
+
+class ThinTreeFabric:
+    """Switch-level structure of a k:k'-ary n-tree.
+
+    ``down_arities[l]`` is the number of children per level-``l+1`` switch
+    (``k``); ``up_arities[l]`` the number of up-ports of a level-``l+1``
+    switch (``k'``), with the top stage having none.
+    """
+
+    def __init__(self, down_arities: Sequence[int],
+                 up_arities: Sequence[int]) -> None:
+        down = tuple(int(k) for k in down_arities)
+        up = tuple(int(k) for k in up_arities)
+        if len(up) != len(down) - 1:
+            raise TopologyError(
+                "need one up-arity per non-top stage "
+                f"(got {len(up)} for {len(down)} stages)")
+        if not down or any(k < 2 for k in down):
+            raise TopologyError(f"invalid down arities {down}")
+        if any(u < 1 for u in up):
+            raise TopologyError(f"invalid up arities {up}")
+        if any(u > k for u, k in zip(up, down)):
+            raise TopologyError(
+                f"thin tree cannot widen: up {up} exceeds down {down}")
+        self.down = down
+        self.up = up
+        self.num_stages = len(down)
+        self.num_ports = 1
+        for k in down:
+            self.num_ports *= k
+        # group[l] = leaves per level-l subtree; digits[l] = switches per
+        # level-l subtree (product of up-arities below)
+        self._group = [1]
+        for k in down:
+            self._group.append(self._group[-1] * k)
+        self._digits = [1]
+        for u in up:
+            self._digits.append(self._digits[-1] * u)
+        self._level_offset = [0, 0]
+        for level in range(1, self.num_stages):
+            count = (self.num_ports // self._group[level]) * self._digits[level - 1]
+            self._level_offset.append(self._level_offset[level] + count)
+        self.num_switches = sum(
+            (self.num_ports // self._group[level]) * self._digits[level - 1]
+            for level in range(1, self.num_stages + 1))
+
+    # -------------------------------------------------------------- indexing
+    def switch_id(self, level: int, subtree: int, digits: tuple[int, ...]) -> int:
+        """Dense local id of switch ``(level, subtree, digits)``."""
+        value = 0
+        for d, u in zip(reversed(digits), reversed(self.up[: level - 1])):
+            value = value * u + d
+        return (self._level_offset[level]
+                + subtree * self._digits[level - 1] + value)
+
+    def port_switch(self, port: int) -> int:
+        if not 0 <= port < self.num_ports:
+            raise TopologyError(f"thin-tree port {port} out of range")
+        return port // self.down[0]
+
+    # ------------------------------------------------------------------ build
+    def build_links(self, links: LinkTable, offset: int, capacity: float) -> None:
+        """Register every duplex switch-to-switch link."""
+        for level in range(1, self.num_stages):
+            subtrees = self.num_ports // self._group[level]
+            for subtree in range(subtrees):
+                for value in range(self._digits[level - 1]):
+                    digits = self._digits_of(value, level)
+                    lo = self.switch_id(level, subtree, digits)
+                    for x in range(self.up[level - 1]):
+                        hi = self.switch_id(level + 1,
+                                            subtree // self.down[level],
+                                            digits + (x,))
+                        links.add_duplex(offset + lo, offset + hi, capacity)
+
+    def _digits_of(self, value: int, level: int) -> tuple[int, ...]:
+        digits = []
+        for u in self.up[: level - 1]:
+            digits.append(value % u)
+            value //= u
+        return tuple(digits)
+
+    # ---------------------------------------------------------------- routing
+    def nca_level(self, a: int, b: int) -> int:
+        if a == b:
+            raise TopologyError("identical ports share no switch path")
+        for level in range(1, self.num_stages + 1):
+            if a // self._group[level] == b // self._group[level]:
+                return level
+        raise TopologyError("ports outside the tree")  # pragma: no cover
+
+    def port_path(self, src_port: int, dst_port: int) -> list[int]:
+        """Local switch-id sequence (minimal UP*/DOWN*, d-mod-k thinned)."""
+        if src_port == dst_port:
+            raise TopologyError("no switch path between identical ports")
+        a, b = self.port_switch(src_port), self.port_switch(dst_port)
+        if a == b:
+            return [a]
+        m = self.nca_level(src_port, dst_port)
+        # destination digits reduced modulo the up-arities
+        dst_digits = []
+        rem = dst_port
+        for k, u in zip(self.down[:-1], self.up):
+            dst_digits.append((rem % k) % u)
+            rem //= k
+
+        path = []
+        subtree = src_port // self.down[0]
+        digits: tuple[int, ...] = ()
+        path.append(self.switch_id(1, subtree, digits))
+        for level in range(1, m):
+            digits = digits + (dst_digits[level - 1],)
+            subtree //= self.down[level]
+            path.append(self.switch_id(level + 1, subtree, digits))
+        for level in range(m - 1, 0, -1):
+            path.append(self.switch_id(level,
+                                       dst_port // self._group[level],
+                                       digits[: level - 1]))
+        return path
+
+    # --------------------------------------------------------------- analysis
+    def routing_diameter(self) -> int:
+        return 2 * self.num_stages
+
+    def oversubscription(self) -> float:
+        """Aggregate down/up bandwidth ratio at the most thinned stage."""
+        worst = 1.0
+        for k, u in zip(self.down, self.up):
+            worst = max(worst, k / u)
+        return worst
+
+
+class ThinTreeTopology(Topology):
+    """Endpoints attached to a thin tree (one per leaf port)."""
+
+    name = "thintree"
+
+    def __init__(self, down_arities: Sequence[int],
+                 up_arities: Sequence[int], *,
+                 link_capacity: float = DEFAULT_LINK_CAPACITY,
+                 nic_capacity: float | None = None) -> None:
+        fabric = ThinTreeFabric(down_arities, up_arities)
+        super().__init__(fabric.num_ports, fabric.num_switches,
+                         link_capacity, nic_capacity)
+        self.fabric = fabric
+        offset = self.num_endpoints
+        fabric.build_links(self.links, offset, link_capacity)
+        for e in range(self.num_endpoints):
+            self.links.add_duplex(e, offset + fabric.port_switch(e),
+                                  link_capacity)
+        self._switch_offset = offset
+        self._finalize()
+
+    def vertex_path(self, src: int, dst: int) -> list[int]:
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [src]
+        body = [self._switch_offset + s
+                for s in self.fabric.port_path(src, dst)]
+        return [src, *body, dst]
+
+    def routing_diameter(self) -> int:
+        return self.fabric.routing_diameter()

@@ -1,0 +1,48 @@
+"""Physical units used throughout the library.
+
+All internal quantities use a single, consistent unit system:
+
+* data sizes are expressed in **bits**,
+* link capacities in **bits per second**,
+* times in **seconds**.
+
+The constants below make workload and topology definitions read naturally
+(``8 * MiB``, ``10 * GBPS``) while keeping the engine unit-agnostic: the
+simulator only ever divides sizes by capacities.
+"""
+
+from __future__ import annotations
+
+#: One kilobit / megabit / gigabit (decimal, as used for link rates).
+KBIT = 1_000.0
+MBIT = 1_000_000.0
+GBIT = 1_000_000_000.0
+
+#: One byte, in bits.
+BYTE = 8.0
+
+#: Binary byte multiples (as used for message/data sizes), in bits.
+KiB = 1024.0 * BYTE
+MiB = 1024.0 * KiB
+GiB = 1024.0 * MiB
+
+#: Link rates in bits per second.
+GBPS = GBIT
+
+#: The paper assumes every transceiver runs at 10 Gbps (Section 4.2).
+DEFAULT_LINK_CAPACITY = 10.0 * GBPS
+
+
+def bits_to_mib(bits: float) -> float:
+    """Convert a size in bits to binary mebibytes."""
+    return bits / MiB
+
+
+def mib(n: float) -> float:
+    """Return ``n`` mebibytes expressed in bits."""
+    return n * MiB
+
+
+def kib(n: float) -> float:
+    """Return ``n`` kibibytes expressed in bits."""
+    return n * KiB

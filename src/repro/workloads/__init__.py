@@ -1,0 +1,42 @@
+"""The paper's eleven application-inspired workloads.
+
+Heavy (Figure 4): UnstructuredApp, UnstructuredHR, Bisection, AllReduce,
+n-Bodies, NearNeighbors.  Light (Figure 5): UnstructuredMgnt, MapReduce,
+Reduce, Flood, Sweep3D.
+"""
+
+from repro.workloads.base import EXTRA, HEAVY, LIGHT, GridWorkload, Workload
+from repro.workloads.collectives import AllReduce, Reduce
+from repro.workloads.mapreduce import MapReduce
+from repro.workloads.nbodies import NBodies
+from repro.workloads.permutations import Permutation
+from repro.workloads.registry import (available, build, heavy_workloads,
+                                      light_workloads, register)
+from repro.workloads.stencil import Flood, NearNeighbors, Sweep3D
+from repro.workloads.unstructured import (Bisection, UnstructuredApp,
+                                          UnstructuredHR, UnstructuredMgnt)
+
+__all__ = [
+    "EXTRA",
+    "HEAVY",
+    "LIGHT",
+    "AllReduce",
+    "Bisection",
+    "Flood",
+    "GridWorkload",
+    "MapReduce",
+    "NBodies",
+    "NearNeighbors",
+    "Permutation",
+    "Reduce",
+    "Sweep3D",
+    "UnstructuredApp",
+    "UnstructuredHR",
+    "UnstructuredMgnt",
+    "Workload",
+    "available",
+    "build",
+    "heavy_workloads",
+    "light_workloads",
+    "register",
+]

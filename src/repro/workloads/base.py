@@ -1,0 +1,97 @@
+"""Workload abstraction and shared helpers.
+
+A workload models one application's communication behaviour as a DAG of
+sized flows between *tasks* (paper Section 4.1).  Tasks are virtual ranks;
+the simulator maps them onto endpoints through a placement, so the same
+workload object can be replayed on every topology of a sweep.
+
+The paper classifies its workloads by the pressure they put on the network
+(Section 5.2): *heavy* ones have a large proportion of endpoints injecting
+at once (Figure 4), *light* ones are causality-limited (Figure 5).  Each
+workload declares its class so the harness can group results the same way.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.engine.flows import FlowSet
+from repro.errors import WorkloadError
+from repro.routing import dor
+from repro.topology.planner import balanced_factors
+
+#: Paper Figure 4 vs Figure 5 grouping; EXTRA marks workloads beyond the
+#: paper's eleven (they never join the default figure sweeps).
+HEAVY = "heavy"
+LIGHT = "light"
+EXTRA = "extra"
+
+
+class Workload(ABC):
+    """One application model, reusable across topologies."""
+
+    #: Registry name; subclasses override.
+    name: str = "workload"
+    #: HEAVY (Figure 4) or LIGHT (Figure 5).
+    classification: str = HEAVY
+
+    def __init__(self, num_tasks: int, *, seed: int = 0) -> None:
+        if num_tasks < 2:
+            raise WorkloadError(
+                f"{type(self).__name__} needs at least 2 tasks, got {num_tasks}")
+        self.num_tasks = num_tasks
+        self.seed = seed
+
+    def rng(self) -> np.random.Generator:
+        """A fresh, seeded generator — building twice gives identical flows."""
+        return np.random.default_rng(self.seed)
+
+    @abstractmethod
+    def build(self) -> FlowSet:
+        """Materialise the flow DAG."""
+
+    def describe(self) -> str:
+        return f"{self.name}({self.num_tasks} tasks, seed={self.seed})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class GridWorkload(Workload):
+    """Base for workloads that arrange tasks in a virtual 3D grid."""
+
+    grid_dims: tuple[int, ...]
+
+    def __init__(self, num_tasks: int, *, dims: int = 3, seed: int = 0) -> None:
+        super().__init__(num_tasks, seed=seed)
+        self.grid_dims = balanced_factors(num_tasks, dims)
+        if self.grid_dims[0] < 2:
+            raise WorkloadError(
+                f"{num_tasks} tasks cannot form a {dims}-D grid "
+                f"(got {self.grid_dims})")
+
+    def coord(self, task: int) -> tuple[int, ...]:
+        return dor.index_to_coord(task, self.grid_dims)
+
+    def task(self, coord: tuple[int, ...]) -> int:
+        return dor.coord_to_index(coord, self.grid_dims)
+
+
+def random_destinations(rng: np.random.Generator, num_tasks: int,
+                        sources: np.ndarray) -> np.ndarray:
+    """Uniform destinations distinct from their sources (vectorised)."""
+    dst = rng.integers(0, num_tasks - 1, size=sources.shape[0])
+    return np.where(dst >= sources, dst + 1, dst)
+
+
+def random_matching(rng: np.random.Generator, num_tasks: int) -> np.ndarray:
+    """A uniform random perfect matching (pairing) over an even task count."""
+    if num_tasks % 2:
+        raise WorkloadError("a matching needs an even number of tasks")
+    perm = rng.permutation(num_tasks)
+    partner = np.empty(num_tasks, dtype=np.int64)
+    partner[perm[0::2]] = perm[1::2]
+    partner[perm[1::2]] = perm[0::2]
+    return partner

@@ -1,0 +1,106 @@
+"""Collective-operation workloads: Reduce and AllReduce.
+
+* **Reduce** — the deliberately *non-optimised* N-to-1 collective of the
+  paper: every task sends its contribution straight to the root,
+  concentrating all traffic on one consumption port.  The paper uses it as
+  a pathological hot-spot scenario and observes that every topology
+  performs identically because the root's consumption link serialises
+  delivery (Section 5.2).
+
+* **AllReduce** — the optimised logarithmic collective (recursive
+  doubling, after Thakur & Gropp): ``log2(T)`` steps in which each task
+  exchanges with a partner at XOR distance ``2^s``.  Non-power-of-two task
+  counts use the standard pre/post folding phases.
+"""
+
+from __future__ import annotations
+
+from repro.engine.flows import FlowBuilder, FlowSet
+from repro.units import KiB
+from repro.workloads.base import HEAVY, LIGHT, Workload
+
+#: Default per-message payload of the collectives.
+DEFAULT_MESSAGE = 512 * KiB
+
+
+class Reduce(Workload):
+    """Non-optimised N-to-1 reduction: all tasks send to the root at once."""
+
+    name = "reduce"
+    classification = LIGHT  # paper Figure 5
+
+    def __init__(self, num_tasks: int, *, root: int = 0,
+                 message_size: float = DEFAULT_MESSAGE, seed: int = 0) -> None:
+        super().__init__(num_tasks, seed=seed)
+        if not 0 <= root < num_tasks:
+            raise ValueError(f"root {root} out of range")
+        self.root = root
+        self.message_size = message_size
+
+    def build(self) -> FlowSet:
+        b = FlowBuilder(self.num_tasks)
+        for t in range(self.num_tasks):
+            if t != self.root:
+                b.add_flow(t, self.root, self.message_size)
+        return b.build()
+
+
+class AllReduce(Workload):
+    """Recursive-doubling allreduce (``log2`` steps of pairwise exchanges).
+
+    At step ``s`` (distances 1, 2, 4, ...), rank ``r`` exchanges with
+    ``r XOR 2^s``.  A step's send waits on the rank's previous send *and*
+    on the message it received in the previous step, which is exactly the
+    data dependency of the reduction.  Ranks beyond the largest power of
+    two fold into a mirror rank before the doubling and receive the result
+    afterwards.
+    """
+
+    name = "allreduce"
+    classification = HEAVY  # paper Figure 4
+
+    def __init__(self, num_tasks: int, *,
+                 message_size: float = DEFAULT_MESSAGE, seed: int = 0) -> None:
+        super().__init__(num_tasks, seed=seed)
+        self.message_size = message_size
+
+    def build(self) -> FlowSet:
+        b = FlowBuilder(self.num_tasks)
+        t = self.num_tasks
+        power = 1
+        while power * 2 <= t:
+            power *= 2
+
+        # pre-phase: ranks >= power fold their data into a mirror rank
+        pre: dict[int, int] = {}
+        for extra in range(power, t):
+            pre[extra - power] = b.add_flow(extra, extra - power,
+                                            self.message_size)
+
+        # doubling phase: sends[r] is rank r's flow of the previous step
+        sends: dict[int, int] = {}
+        step = 1
+        while step < power:
+            new_sends: dict[int, int] = {}
+            for rank in range(power):
+                partner = rank ^ step
+                after: list[int] = []
+                if sends:
+                    prev_partner = rank ^ (step // 2)
+                    after = [sends[rank], sends[prev_partner]]
+                elif rank in pre:
+                    after = [pre[rank]]
+                new_sends[rank] = b.add_flow(rank, partner,
+                                             self.message_size, after=after)
+            sends = new_sends
+            step *= 2
+
+        # post-phase: mirrors push the final value back to folded ranks
+        last_step = step // 2
+        for extra in range(power, t):
+            mirror = extra - power
+            after = []
+            if sends:
+                after = [sends[mirror], sends[mirror ^ last_step]]
+            b.add_flow(mirror, extra, self.message_size, after=after)
+        return b.build()

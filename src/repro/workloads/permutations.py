@@ -1,0 +1,142 @@
+"""Classic permutation traffic patterns (Dally & Towles).
+
+Permutation patterns are the standard adversarial stressors of the
+interconnection-networks literature: every task sends to exactly one
+destination given by a fixed permutation of the task id's bits or digits.
+They complement the paper's application models with the worst cases that
+expose routing and topology asymmetries:
+
+* **bit-reversal** — ``dst = reverse(bits(src))``; pathological for DOR
+  meshes/tori,
+* **bit-complement** — ``dst = ~src``; every packet crosses the bisection,
+* **transpose** — swap the high and low halves of the bits (matrix
+  transpose); adversarial for dimension-ordered routing,
+* **shuffle** — rotate bits left by one (perfect shuffle / FFT),
+* **tornado** — ``dst = src + T/2 - 1 mod T``; the classic torus killer
+  (defeats wrap-around balance),
+* **neighbor** — ``dst = src + 1 mod T``; the friendliest pattern, a
+  locality baseline.
+
+All patterns require a power-of-two task count except ``tornado`` and
+``neighbor``.  Each task sends one fixed-size message; patterns are pure
+(no randomness), so there is no seed sensitivity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.engine.flows import FlowBuilder, FlowSet
+from repro.errors import WorkloadError
+from repro.units import KiB
+from repro.workloads.base import EXTRA, Workload
+
+#: Default message payload of the permutation patterns.
+DEFAULT_MESSAGE = 256 * KiB
+
+
+def _bits_of(num_tasks: int) -> int:
+    bits = num_tasks.bit_length() - 1
+    if 1 << bits != num_tasks:
+        raise WorkloadError(
+            f"this permutation needs a power-of-two task count, "
+            f"got {num_tasks}")
+    return bits
+
+
+def bit_reversal(task: int, num_tasks: int) -> int:
+    """Reverse the bit string of the task id."""
+    bits = _bits_of(num_tasks)
+    out = 0
+    for i in range(bits):
+        if task >> i & 1:
+            out |= 1 << (bits - 1 - i)
+    return out
+
+
+def bit_complement(task: int, num_tasks: int) -> int:
+    """Flip every bit of the task id."""
+    _bits_of(num_tasks)
+    return num_tasks - 1 - task
+
+
+def transpose(task: int, num_tasks: int) -> int:
+    """Swap the high and low halves of the bit string (needs even bits)."""
+    bits = _bits_of(num_tasks)
+    if bits % 2:
+        raise WorkloadError(
+            f"transpose needs an even number of bits, got {bits}")
+    half = bits // 2
+    low = task & ((1 << half) - 1)
+    high = task >> half
+    return (low << half) | high
+
+def shuffle(task: int, num_tasks: int) -> int:
+    """Rotate the bit string left by one (perfect shuffle)."""
+    bits = _bits_of(num_tasks)
+    msb = task >> (bits - 1) & 1
+    return ((task << 1) & (num_tasks - 1)) | msb
+
+
+def tornado(task: int, num_tasks: int) -> int:
+    """Send just under half-way around the ring: ``src + T/2 - 1``."""
+    offset = max(1, num_tasks // 2 - 1)
+    return (task + offset) % num_tasks
+
+
+def neighbor(task: int, num_tasks: int) -> int:
+    """Nearest-neighbour ring: ``src + 1``."""
+    return (task + 1) % num_tasks
+
+
+PATTERNS: dict[str, Callable[[int, int], int]] = {
+    "bitreversal": bit_reversal,
+    "bitcomplement": bit_complement,
+    "transpose": transpose,
+    "shuffle": shuffle,
+    "tornado": tornado,
+    "neighbor": neighbor,
+}
+
+
+class Permutation(Workload):
+    """One message per task along a named permutation pattern."""
+
+    name = "permutation"
+    classification = EXTRA  # beyond the paper's eleven; not in Fig. 4/5
+
+    def __init__(self, num_tasks: int, *, pattern: str = "bitreversal",
+                 message_size: float = DEFAULT_MESSAGE,
+                 repetitions: int = 1, seed: int = 0) -> None:
+        super().__init__(num_tasks, seed=seed)
+        if pattern not in PATTERNS:
+            raise WorkloadError(
+                f"unknown permutation {pattern!r}; "
+                f"available: {sorted(PATTERNS)}")
+        if repetitions < 1:
+            raise WorkloadError("repetitions must be >= 1")
+        self.pattern = pattern
+        self.message_size = message_size
+        self.repetitions = repetitions
+        # validate the pattern against the task count eagerly
+        fn = PATTERNS[pattern]
+        self._destinations = [fn(t, num_tasks) for t in range(num_tasks)]
+        if sorted(self._destinations) != list(range(num_tasks)):
+            raise WorkloadError(
+                f"{pattern} is not a permutation of {num_tasks} tasks")
+
+    def build(self) -> FlowSet:
+        b = FlowBuilder(self.num_tasks)
+        prev: dict[int, int] = {}
+        for _ in range(self.repetitions):
+            for task, dst in enumerate(self._destinations):
+                if task == dst:
+                    continue
+                after = [prev[task]] if task in prev else []
+                prev[task] = b.add_flow(task, dst, self.message_size,
+                                        after=after)
+        return b.build()
+
+    def describe(self) -> str:
+        return (f"{self.name}[{self.pattern}]({self.num_tasks} tasks, "
+                f"x{self.repetitions})")

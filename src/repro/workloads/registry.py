@@ -1,0 +1,61 @@
+"""Name-based workload construction, mirroring the topology registry."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.workloads.base import HEAVY, LIGHT, Workload
+from repro.workloads.collectives import AllReduce, Reduce
+from repro.workloads.mapreduce import MapReduce
+from repro.workloads.nbodies import NBodies
+from repro.workloads.permutations import Permutation
+from repro.workloads.stencil import Flood, NearNeighbors, Sweep3D
+from repro.workloads.unstructured import (Bisection, UnstructuredApp,
+                                          UnstructuredHR, UnstructuredMgnt)
+
+_REGISTRY: dict[str, type[Workload]] = {}
+
+
+def register(cls: type[Workload]) -> type[Workload]:
+    """Register a workload class under its ``name``."""
+    if cls.name in _REGISTRY:
+        raise ConfigError(f"workload {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available() -> list[str]:
+    """Sorted names of all registered workloads."""
+    return sorted(_REGISTRY)
+
+
+def heavy_workloads() -> list[str]:
+    """Workloads of the paper's Figure 4 (heavy network utilisation)."""
+    return sorted(n for n, c in _REGISTRY.items() if c.classification == HEAVY)
+
+
+def light_workloads() -> list[str]:
+    """Workloads of the paper's Figure 5 (light network utilisation)."""
+    return sorted(n for n, c in _REGISTRY.items() if c.classification == LIGHT)
+
+
+def build(name: str, num_tasks: int, **params: Any) -> Workload:
+    """Instantiate a workload by name.
+
+    >>> build("allreduce", 64).name
+    'allreduce'
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {available()}") from None
+    return cls(num_tasks, **params)
+
+
+for _cls in (Reduce, AllReduce, MapReduce, Sweep3D, Flood, NearNeighbors,
+             NBodies, UnstructuredApp, UnstructuredMgnt, UnstructuredHR,
+             Bisection, Permutation):
+    register(_cls)

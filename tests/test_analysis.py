@@ -1,0 +1,76 @@
+"""Tests for the routing-aware topological analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (NestTree, TorusTopology, path_length_stats,
+                            routing_diameter)
+from repro.topology.analysis import shortest_path_check
+
+
+class TestPathLengthStats:
+    def test_exact_small(self, small_torus):
+        stats = path_length_stats(small_torus, max_pairs=10_000)
+        assert stats.exact
+        assert stats.pairs_measured == 32 * 31
+        assert stats.maximum == 5
+        assert stats.average == pytest.approx(
+            small_torus.average_distance_closed_form())
+
+    def test_sampled_when_over_budget(self, small_torus):
+        stats = path_length_stats(small_torus, max_pairs=100)
+        assert not stats.exact
+        assert stats.pairs_measured == 100
+
+    def test_sampling_is_deterministic(self, small_nesttree):
+        a = path_length_stats(small_nesttree, max_pairs=200, seed=42)
+        b = path_length_stats(small_nesttree, max_pairs=200, seed=42)
+        assert a.histogram == b.histogram
+
+    def test_seed_changes_sample(self, small_nesttree):
+        a = path_length_stats(small_nesttree, max_pairs=200, seed=1)
+        b = path_length_stats(small_nesttree, max_pairs=200, seed=2)
+        assert a.histogram != b.histogram
+
+    def test_histogram_sums_to_pairs(self, small_fattree):
+        stats = path_length_stats(small_fattree, max_pairs=10_000)
+        assert sum(stats.histogram.values()) == stats.pairs_measured
+
+    def test_distribution_normalised(self, small_fattree):
+        stats = path_length_stats(small_fattree, max_pairs=10_000)
+        dist = stats.distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_no_self_pairs_sampled(self):
+        # distance 0 can only come from self-pairs, which must be excluded
+        topo = TorusTopology((2, 2))
+        stats = path_length_stats(topo, max_pairs=3)
+        assert 0 not in stats.histogram
+
+
+class TestRoutingDiameter:
+    def test_uses_closed_form(self, small_torus):
+        assert routing_diameter(small_torus) == 5
+
+    def test_brute_force_fallback(self):
+        topo = TorusTopology((3, 3))
+
+        class Stub:  # quacks like a topology but has no closed form
+            num_endpoints = topo.num_endpoints
+            hops = staticmethod(topo.hops)
+
+        assert routing_diameter(Stub()) == topo.routing_diameter()
+
+
+class TestStretch:
+    def test_minimal_topologies_have_stretch_one(self, small_torus,
+                                                 small_fattree):
+        assert shortest_path_check(small_torus, pairs=50) == pytest.approx(1.0)
+        assert shortest_path_check(small_fattree, pairs=50) == pytest.approx(1.0)
+
+    def test_hybrids_are_non_minimal(self):
+        # a big subtorus makes intra-subtorus DOR (which by the paper's rule
+        # never uses the upper tier) longer than the fabric shortcut
+        topo = NestTree(512, 8, 1)
+        assert shortest_path_check(topo, pairs=60) > 1.0

@@ -1,0 +1,71 @@
+"""Tests for the Topology base-class contract (shared across families)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.topology import TorusTopology
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+
+class TestContract:
+    def test_every_family_routes_every_pair(self, all_small_topologies):
+        for topo in all_small_topologies:
+            n = topo.num_endpoints
+            for src in range(0, n, max(1, n // 6)):
+                for dst in range(0, n, max(1, n // 7)):
+                    route = topo.route(src, dst)
+                    assert route[0] == topo.injection_links[src]
+                    assert route[-1] == topo.consumption_links[dst]
+                    assert len(set(route)) == len(route)
+
+    def test_hops_is_route_minus_nic(self, all_small_topologies):
+        for topo in all_small_topologies:
+            assert topo.hops(0, 1) == len(topo.route(0, 1)) - 2
+
+    def test_describe_mentions_counts(self, all_small_topologies):
+        for topo in all_small_topologies:
+            text = topo.describe()
+            assert str(topo.num_endpoints) in text
+            assert topo.name in text
+
+    def test_network_link_count_excludes_nic(self, small_torus):
+        assert small_torus.links.num_links == \
+            small_torus.num_network_links + 2 * small_torus.num_endpoints
+
+    def test_to_networkx_has_no_nic_vertices(self, small_nesttree):
+        g = small_nesttree.to_networkx()
+        expected = small_nesttree.num_endpoints + small_nesttree.num_switches
+        assert g.number_of_nodes() == expected
+
+
+class TestNicCapacity:
+    def test_defaults_to_link_capacity(self):
+        topo = TorusTopology((4,), link_capacity=3.0)
+        caps = topo.links.capacities
+        assert caps[topo.injection_links[0]] == 3.0
+
+    def test_override(self):
+        topo = TorusTopology((4,), link_capacity=3.0, nic_capacity=12.0)
+        caps = topo.links.capacities
+        assert caps[topo.injection_links[0]] == 12.0
+        assert caps[topo.consumption_links[0]] == 12.0
+        # network links keep the base rate
+        net = topo.links.id_of(0, 1)
+        assert caps[net] == 3.0
+
+
+class TestValidation:
+    def test_zero_endpoints_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):  # TopologyError from the dims check
+            TorusTopology((0,))
+
+    def test_route_bounds(self, small_torus):
+        with pytest.raises(RoutingError):
+            small_torus.route(-1, 0)
+        with pytest.raises(RoutingError):
+            small_torus.hops(0, 99)

@@ -1,0 +1,119 @@
+"""Tests for the bisection-width model."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (FatTreeTopology, GHCTopology, NestGHC, NestTree,
+                            TorusTopology)
+from repro.topology.bisection import (bisection_bandwidth, bisection_cables,
+                                      bisection_per_endpoint,
+                                      fattree_bisection, ghc_bisection,
+                                      torus_bisection)
+
+
+def brute_force_bisection(topo) -> int:
+    """Minimum edge cut over all balanced endpoint bipartitions.
+
+    Exponential — only usable on the tiniest instances.  Switch vertices
+    are assigned greedily to whichever side minimises the cut, which is
+    exact for the tiny fabrics used here (verified by full enumeration of
+    switch sides when few switches exist).
+    """
+    g = topo.to_networkx()
+    n = topo.num_endpoints
+    endpoints = list(range(n))
+    best = None
+    for left in itertools.combinations(endpoints, n // 2):
+        left_set = set(left)
+        switches = list(range(n, n + topo.num_switches))
+        local_best = None
+        for assign in itertools.product([0, 1], repeat=len(switches)):
+            side = dict(zip(switches, assign))
+            cut = 0
+            for u, v in g.edges():
+                su = (u in left_set) if u < n else side[u] == 0
+                sv = (v in left_set) if v < n else side[v] == 0
+                cut += su != sv
+            if local_best is None or cut < local_best:
+                local_best = cut
+        if best is None or local_best < best:
+            best = local_best
+    return best
+
+
+class TestClosedForms:
+    def test_torus_even(self):
+        assert torus_bisection((4, 4)) == 2 * 4  # two wrap boundaries
+
+    def test_torus_radix_two_single_boundary(self):
+        assert torus_bisection((2, 2)) == 2  # k=2 wrap collapses
+
+    def test_mesh_single_boundary(self):
+        assert torus_bisection((4, 4), wraparound=False) == 4
+
+    def test_fattree_full(self):
+        assert fattree_bisection(128) == 64
+
+    def test_ghc_row_cut(self):
+        # 4x4 GHC, 1 port/switch: each of 4 rows contributes 2*2 links
+        assert ghc_bisection((4, 4), 1) == 16
+
+    def test_ghc_min_over_dims(self):
+        # radix-2 dimension: 8 rows x 1 link = 8 < radix-8 dim's 2 x 16
+        assert ghc_bisection((2, 8), 1) == 8
+
+    def test_ghc_degenerate_single_switch(self):
+        assert ghc_bisection((), 8) == 4
+
+
+class TestDispatch:
+    def test_torus(self):
+        assert bisection_cables(TorusTopology((4, 4, 2))) == 2 * 8
+
+    def test_fattree(self):
+        assert bisection_cables(FatTreeTopology((4, 4))) == 8
+
+    def test_ghc_topology(self):
+        assert bisection_cables(GHCTopology((4, 4), 4)) == 16
+
+    def test_nesttree_inherits_fabric(self):
+        topo = NestTree(64, 2, 2)  # 32 fattree ports upstairs
+        assert bisection_cables(topo) == 16
+
+    def test_nestghc_inherits_fabric(self):
+        topo = NestGHC(64, 2, 4, ports_per_switch=4, ghc_dims=2)
+        assert bisection_cables(topo) == \
+            ghc_bisection(topo.fabric.radices, 4)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TopologyError):
+            bisection_cables(object())  # type: ignore[arg-type]
+
+
+class TestDerived:
+    def test_bandwidth(self):
+        topo = FatTreeTopology((4, 4), link_capacity=5.0)
+        assert bisection_bandwidth(topo) == 8 * 5.0
+
+    def test_per_endpoint_full_bisection(self):
+        assert bisection_per_endpoint(FatTreeTopology((4, 4))) == 0.5
+
+    def test_sparser_uplinks_thinner_bisection(self):
+        dense = NestTree(64, 2, 1)
+        sparse = NestTree(64, 2, 8)
+        assert bisection_cables(sparse) < bisection_cables(dense)
+
+
+class TestBruteForce:
+    def test_small_torus_matches(self):
+        topo = TorusTopology((4, 2))
+        assert bisection_cables(topo) == brute_force_bisection(topo)
+
+    def test_small_mesh_matches(self):
+        topo = TorusTopology((4, 2), wraparound=False)
+        assert bisection_cables(topo) == brute_force_bisection(topo)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_lists_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "nesttree" in out and "allreduce" in out
+
+
+class TestTables:
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--endpoints", "64", "--max-pairs", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "(8,1)" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--endpoints", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+
+class TestRun:
+    def test_single_simulation(self, capsys):
+        assert main(["run", "--endpoints", "64", "--topology", "nesttree",
+                     "--t", "2", "--u", "2", "--workload", "allreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out and "nesttree" in out
+
+    def test_task_subset_with_spread(self, capsys):
+        assert main(["run", "--endpoints", "64", "--topology", "fattree",
+                     "--workload", "mapreduce", "--tasks", "8"]) == 0
+        assert "makespan=" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_fig5_subset(self, capsys, tmp_path):
+        out_file = tmp_path / "fig.csv"
+        assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
+                     "--quiet", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "== reduce ==" in out and "shape checks" in out
+        assert out_file.read_text().startswith("workload,topology")
+
+    def test_fig4_subset(self, capsys):
+        assert main(["fig4", "--endpoints", "64", "--workloads",
+                     "allreduce", "--quiet"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plot"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestComparatorFamilies:
+    def test_run_dragonfly(self, capsys):
+        assert main(["run", "--endpoints", "72", "--topology", "dragonfly",
+                     "--workload", "reduce"]) == 0
+        assert "dragonfly" in capsys.readouterr().out
+
+    def test_run_jellyfish(self, capsys):
+        assert main(["run", "--endpoints", "64", "--topology", "jellyfish",
+                     "--workload", "allreduce"]) == 0
+        assert "jellyfish" in capsys.readouterr().out
+
+    def test_run_thintree(self, capsys):
+        assert main(["run", "--endpoints", "64", "--topology", "thintree",
+                     "--workload", "reduce"]) == 0
+        assert "thintree" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Tests for the cost/power model — must reproduce the paper's Table 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paperdata import (FATTREE_COST_PCT, FATTREE_POWER_PCT,
+                                  FATTREE_SWITCHES, PAPER_ENDPOINTS, TABLE2)
+from repro.errors import ConfigError
+from repro.topology.cost import (CostModel, fattree_switch_count,
+                                 ghc_switch_count, overhead_row)
+
+
+class TestCostModel:
+    def test_defaults_recover_paper_reference(self):
+        # 9216 switches -> +5.27% cost, +1.76% power (Table 2 footnote)
+        model = CostModel()
+        assert model.cost_increase(FATTREE_SWITCHES, PAPER_ENDPOINTS) * 100 \
+            == pytest.approx(FATTREE_COST_PCT, abs=0.005)
+        assert model.power_increase(FATTREE_SWITCHES, PAPER_ENDPOINTS) * 100 \
+            == pytest.approx(FATTREE_POWER_PCT, abs=0.005)
+
+    @pytest.mark.parametrize("tu,row", sorted(TABLE2.items()))
+    def test_every_nesttree_row(self, tu, row):
+        _t, u = tu
+        switches_tree, cost_tree, power_tree = row[1], row[3], row[5]
+        model = CostModel()
+        assert fattree_switch_count(PAPER_ENDPOINTS // u) == switches_tree
+        assert model.cost_increase(switches_tree, PAPER_ENDPOINTS) * 100 \
+            == pytest.approx(cost_tree, abs=0.005)
+        assert model.power_increase(switches_tree, PAPER_ENDPOINTS) * 100 \
+            == pytest.approx(power_tree, abs=0.005)
+
+    def test_ghc_u1_matches_paper(self):
+        # the only GHC row the paper pins down unambiguously
+        assert ghc_switch_count(PAPER_ENDPOINTS) == TABLE2[(2, 1)][0] == 8192
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(ConfigError):
+            CostModel(switch_cost=-1.0)
+
+    def test_invalid_endpoints(self):
+        with pytest.raises(ConfigError):
+            CostModel().cost_increase(10, 0)
+
+
+class TestOverheadRow:
+    def test_values(self):
+        row = overhead_row("x", 100, 1000, CostModel(0.5, 0.1))
+        assert row.cost_increase == pytest.approx(0.05)
+        assert row.power_increase == pytest.approx(0.01)
+
+    def test_formatted_contains_percentages(self):
+        row = overhead_row("cfg", 100, 1000)
+        text = row.formatted()
+        assert "cfg" in text and "%" in text

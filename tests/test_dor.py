@@ -1,0 +1,136 @@
+"""Unit and property tests for dimension-order routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import dor
+
+radices_st = st.lists(st.integers(min_value=1, max_value=7),
+                      min_size=1, max_size=4)
+
+
+def coords_for(radices):
+    return st.tuples(*[st.integers(0, k - 1) for k in radices])
+
+
+class TestWrapDelta:
+    def test_forward_shorter(self):
+        assert dor.wrap_delta(0, 2, 8) == 2
+
+    def test_backward_shorter(self):
+        assert dor.wrap_delta(0, 6, 8) == -2
+
+    def test_tie_positive(self):
+        assert dor.wrap_delta(0, 4, 8) == 4
+
+    def test_radix_two_single_hop(self):
+        assert dor.wrap_delta(0, 1, 2) == 1
+        assert dor.wrap_delta(1, 0, 2) == 1
+
+    def test_mesh_is_plain_difference(self):
+        assert dor.wrap_delta(1, 6, 8, torus=False) == 5
+        assert dor.wrap_delta(6, 1, 8, torus=False) == -5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RoutingError):
+            dor.wrap_delta(8, 0, 8)
+
+    @given(st.integers(2, 16), st.data())
+    def test_magnitude_at_most_half_radix(self, k, data):
+        s = data.draw(st.integers(0, k - 1))
+        d = data.draw(st.integers(0, k - 1))
+        assert abs(dor.wrap_delta(s, d, k)) <= k // 2
+
+
+class TestPath:
+    def test_identity(self):
+        assert dor.path((1, 1), (1, 1), (4, 4)) == [(1, 1)]
+
+    def test_single_dim(self):
+        assert dor.path((0,), (2,), (4,)) == [(0,), (1,), (2,)]
+
+    def test_wraparound_used(self):
+        assert dor.path((0,), (3,), (4,)) == [(0,), (3,)]
+
+    def test_dimension_order(self):
+        p = dor.path((0, 0), (1, 1), (4, 4))
+        assert p == [(0, 0), (1, 0), (1, 1)]  # X first, then Y
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RoutingError):
+            dor.path((0, 0), (1,), (4, 4))
+
+    @given(radices_st.filter(lambda r: all(k >= 1 for k in r)), st.data())
+    @settings(max_examples=200)
+    def test_path_properties(self, radices, data):
+        src = data.draw(coords_for(radices))
+        dst = data.draw(coords_for(radices))
+        p = dor.path(src, dst, radices)
+        assert p[0] == src and p[-1] == dst
+        # length matches the wrap-aware Manhattan distance
+        assert len(p) - 1 == dor.distance(src, dst, radices)
+        # each hop changes exactly one coordinate by one (wrap-aware)
+        for a, b in zip(p, p[1:]):
+            diffs = [(x, y, k) for x, y, k in zip(a, b, radices) if x != y]
+            assert len(diffs) == 1
+            x, y, k = diffs[0]
+            assert (x + 1) % k == y or (x - 1) % k == y
+        # no vertex repeats (loop-free)
+        assert len(set(p)) == len(p)
+
+    @given(radices_st, st.data())
+    @settings(max_examples=100)
+    def test_mesh_path_stays_in_bounds(self, radices, data):
+        src = data.draw(coords_for(radices))
+        dst = data.draw(coords_for(radices))
+        for c in dor.path(src, dst, radices, torus=False):
+            assert all(0 <= v < k for v, k in zip(c, radices))
+
+
+class TestIndexing:
+    @given(radices_st, st.data())
+    @settings(max_examples=200)
+    def test_roundtrip(self, radices, data):
+        c = data.draw(coords_for(radices))
+        assert dor.index_to_coord(dor.coord_to_index(c, radices), radices) == c
+
+    def test_dimension_zero_fastest(self):
+        assert dor.coord_to_index((1, 0), (4, 4)) == 1
+        assert dor.coord_to_index((0, 1), (4, 4)) == 4
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(RoutingError):
+            dor.index_to_coord(16, (4, 4))
+        with pytest.raises(RoutingError):
+            dor.index_to_coord(-1, (4, 4))
+
+    def test_bad_coord_rejected(self):
+        with pytest.raises(RoutingError):
+            dor.coord_to_index((4, 0), (4, 4))
+
+
+class TestNeighbors:
+    def test_interior_count_3d(self):
+        assert len(dor.neighbors((1, 1, 1), (4, 4, 4))) == 6
+
+    def test_radix_two_deduplicated(self):
+        # +1 and -1 wrap to the same vertex
+        assert dor.neighbors((0,), (2,)) == [(1,)]
+
+    def test_radix_one_dimension_contributes_nothing(self):
+        assert dor.neighbors((0, 1), (1, 4)) == [(0, 2), (0, 0)]
+
+    def test_mesh_edges_truncated(self):
+        nbs = dor.neighbors((0, 0), (4, 4), torus=False)
+        assert set(nbs) == {(1, 0), (0, 1)}
+
+    @given(radices_st, st.data())
+    @settings(max_examples=100)
+    def test_symmetry(self, radices, data):
+        c = data.draw(coords_for(radices))
+        for nb in dor.neighbors(c, radices):
+            assert c in dor.neighbors(nb, radices)

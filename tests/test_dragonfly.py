@@ -1,0 +1,151 @@
+"""Tests for the Dragonfly comparator topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import simulate
+from repro.engine.flows import FlowBuilder
+from repro.errors import TopologyError
+from repro.topology.dragonfly import DragonflyTopology, plan_dragonfly
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+
+@pytest.fixture(scope="module")
+def df():
+    return DragonflyTopology(2, 4, 2, 9)  # canonical h=2 dragonfly, N=72
+
+
+class TestPlanner:
+    def test_known_sizes(self):
+        assert plan_dragonfly(512) == (4, 8, 4, 16)
+        assert plan_dragonfly(72) == (2, 4, 2, 9)
+
+    def test_untileable(self):
+        with pytest.raises(TopologyError):
+            plan_dragonfly(7)
+
+
+class TestConstruction:
+    def test_counts(self, df):
+        assert df.num_endpoints == 72
+        assert df.num_switches == 36
+        # links: intra 9 * C(4,2)=54 cables, global C(9,2)=36, access 72
+        assert df.num_network_links == 2 * (54 + 36 + 72)
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            DragonflyTopology(2, 4, 2, 10)   # > a*h + 1 groups
+        with pytest.raises(TopologyError):
+            DragonflyTopology(2, 4, 2, 1)
+
+    def test_connected(self, df):
+        assert nx.is_connected(df.to_networkx())
+
+    def test_global_port_budget_respected(self, df):
+        g = df.to_networkx()
+        for sw in range(72, 72 + 36):
+            # degree = (a-1) local + <= h global + p access
+            assert g.degree(sw) <= (df.a - 1) + df.h + df.p
+
+
+class TestRouting:
+    @given(st.integers(0, 71), st.integers(0, 71))
+    @settings(max_examples=150, deadline=None)
+    def test_routes_are_valid_walks(self, src, dst):
+        topo = DragonflyTopology(2, 4, 2, 9)
+        p = topo.vertex_path(src, dst)
+        assert p[0] == src and p[-1] == dst
+        for a, b in zip(p, p[1:]):
+            assert topo.links.has(a, b)
+        assert len(set(p)) == len(p)
+
+    def test_routing_is_minimal(self, df):
+        g = df.to_networkx()
+        lengths = nx.single_source_shortest_path_length(g, 0)
+        for dst in range(1, 72):
+            assert df.hops(0, dst) == lengths[dst]
+
+    def test_diameter(self, df):
+        brute = max(df.hops(s, d) for s in range(72) for d in range(72)
+                    if s != d)
+        assert df.routing_diameter() == brute == 5
+
+    def test_one_global_hop(self, df):
+        path = df.vertex_path(0, 71)
+        groups = {df.group_of(v) if v < 72 else (v - 72) // df.a
+                  for v in path}
+        assert len(groups) == 2  # only source and destination groups
+
+
+class TestPathologies:
+    def test_adversarial_group_pair_saturates_one_cable(self):
+        """The paper: dragonflies have 'many pathological scenarios ...
+        primarily with unbalanced loads'.  All of group 0 sending to group
+        1 squeezes through one global cable."""
+        df = DragonflyTopology(2, 4, 2, 9)
+        per_group = df.p * df.a
+        b = FlowBuilder(df.num_endpoints)
+        for i in range(per_group):
+            b.add_flow(i, per_group + i, CAP / 10)
+        adversarial = simulate(df, b.build()).makespan
+        # the same traffic spread over all groups is far faster
+        b2 = FlowBuilder(df.num_endpoints)
+        for i in range(per_group):
+            b2.add_flow(i, (per_group * (i + 1) + i) % df.num_endpoints,
+                        CAP / 10)
+        balanced = simulate(df, b2.build()).makespan
+        assert adversarial > 2.5 * balanced
+
+
+class TestValiantRouting:
+    @given(st.integers(0, 71), st.integers(0, 71))
+    @settings(max_examples=150, deadline=None)
+    def test_valiant_routes_are_valid_walks(self, src, dst):
+        topo = DragonflyTopology(2, 4, 2, 9, valiant=True)
+        p = topo.vertex_path(src, dst)
+        assert p[0] == src and p[-1] == dst
+        for a, b in zip(p, p[1:]):
+            assert topo.links.has(a, b)
+        assert len(set(p)) == len(p)
+
+    def test_diameter(self):
+        topo = DragonflyTopology(2, 4, 2, 9, valiant=True)
+        brute = max(topo.hops(s, d) for s in range(72) for d in range(72)
+                    if s != d)
+        assert brute <= topo.routing_diameter() == 7
+
+    def test_intermediate_group_is_neither_endpoint_group(self):
+        topo = DragonflyTopology(2, 4, 2, 9, valiant=True)
+        for src, dst in ((0, 70), (8, 16), (3, 65)):
+            via = topo._intermediate_group(src, dst, topo.group_of(src),
+                                           topo.group_of(dst))
+            assert via not in (topo.group_of(src), topo.group_of(dst))
+
+    def test_valiant_defeats_the_adversarial_pattern(self):
+        """Valiant's two-hop randomisation spreads block traffic across all
+        global cables — the classic fix for the dragonfly pathology."""
+        minimal = DragonflyTopology(2, 4, 2, 9)
+        valiant = DragonflyTopology(2, 4, 2, 9, valiant=True)
+        per_group = 8
+        b = FlowBuilder(72)
+        for i in range(per_group):
+            b.add_flow(i, per_group + i, CAP / 10)
+        flows = b.build()
+        t_min = simulate(minimal, flows).makespan
+        t_val = simulate(valiant, flows).makespan
+        assert t_val < 0.5 * t_min
+
+    def test_valiant_costs_on_benign_traffic(self):
+        """The flip side: Valiant doubles the load under uniform traffic."""
+        from repro.workloads import UnstructuredApp
+
+        flows = UnstructuredApp(72, messages_per_task=4, seed=0).build()
+        minimal = DragonflyTopology(2, 4, 2, 9)
+        valiant = DragonflyTopology(2, 4, 2, 9, valiant=True)
+        t_min = simulate(minimal, flows, fidelity="approx").makespan
+        t_val = simulate(valiant, flows, fidelity="approx").makespan
+        assert t_val >= t_min * 0.95  # never meaningfully better

@@ -1,0 +1,85 @@
+"""Unit and property tests for e-cube routing on generalised hypercubes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import ecube
+
+radices_st = st.lists(st.integers(min_value=2, max_value=6),
+                      min_size=1, max_size=4)
+
+
+def coords_for(radices):
+    return st.tuples(*[st.integers(0, k - 1) for k in radices])
+
+
+class TestPath:
+    def test_identity(self):
+        assert ecube.path((1, 2), (1, 2), (4, 4)) == [(1, 2)]
+
+    def test_single_hop_corrects_whole_dimension(self):
+        assert ecube.path((0, 0), (3, 0), (4, 4)) == [(0, 0), (3, 0)]
+
+    def test_dimension_order(self):
+        assert ecube.path((0, 0), (3, 2), (4, 4)) == [(0, 0), (3, 0), (3, 2)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RoutingError):
+            ecube.path((4, 0), (0, 0), (4, 4))
+
+    @given(radices_st, st.data())
+    @settings(max_examples=200)
+    def test_path_properties(self, radices, data):
+        src = data.draw(coords_for(radices))
+        dst = data.draw(coords_for(radices))
+        p = ecube.path(src, dst, radices)
+        assert p[0] == src and p[-1] == dst
+        assert len(p) - 1 == ecube.hamming(src, dst, radices)
+        for a, b in zip(p, p[1:]):
+            assert sum(1 for x, y in zip(a, b) if x != y) == 1
+
+    @given(radices_st, st.data())
+    @settings(max_examples=100)
+    def test_minimality(self, radices, data):
+        # e-cube is minimal: no path in the GHC graph can be shorter than
+        # the number of differing coordinates
+        src = data.draw(coords_for(radices))
+        dst = data.draw(coords_for(radices))
+        assert len(ecube.path(src, dst, radices)) - 1 <= len(radices)
+
+
+class TestNeighbors:
+    def test_count_equals_degree(self):
+        radices = (3, 4)
+        nbs = ecube.neighbors((0, 0), radices)
+        assert len(nbs) == ecube.degree(radices) == 2 + 3
+
+    def test_all_single_coordinate_changes(self):
+        for nb in ecube.neighbors((1, 1), (3, 3)):
+            assert sum(1 for a, b in zip(nb, (1, 1)) if a != b) == 1
+
+    @given(radices_st, st.data())
+    @settings(max_examples=50)
+    def test_symmetry(self, radices, data):
+        c = data.draw(coords_for(radices))
+        for nb in ecube.neighbors(c, radices):
+            assert c in ecube.neighbors(nb, radices)
+
+
+class TestAverageDistance:
+    @pytest.mark.parametrize("radices", [(2,), (2, 2), (3, 4), (2, 3, 4)])
+    def test_matches_enumeration(self, radices):
+        verts = list(itertools.product(*[range(k) for k in radices]))
+        total = sum(ecube.hamming(a, b, radices)
+                    for a in verts for b in verts if a != b)
+        expected = total / (len(verts) * (len(verts) - 1))
+        assert ecube.average_distance(radices) == pytest.approx(expected)
+
+    def test_trivial(self):
+        assert ecube.average_distance((1,)) == 0.0

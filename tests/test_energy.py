@@ -1,0 +1,98 @@
+"""Tests for the energy estimation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import analyze, simulate
+from repro.engine.flows import FlowBuilder
+from repro.errors import ConfigError
+from repro.topology import NestTree, TorusTopology
+from repro.topology.energy import EnergyModel, compare, estimate
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+
+@pytest.fixture(scope="module")
+def line():
+    return TorusTopology((4,), wraparound=False)
+
+
+class TestModel:
+    def test_coefficients_validated(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(link_energy_per_bit=-1.0)
+
+    def test_negative_duration_rejected(self, line):
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, 1.0)
+        report = analyze(line, b.build())
+        with pytest.raises(ConfigError):
+            estimate(line, report, -1.0)
+
+
+class TestEstimate:
+    def test_dynamic_energy_closed_form(self, line):
+        """One flow, one network hop: energy = bits * (3 links + 0 switch)."""
+        model = EnergyModel(link_energy_per_bit=1.0,
+                            switch_energy_per_bit=10.0,
+                            qfdb_idle_power=0.0, switch_idle_power=0.0)
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, 5.0)  # inj + net hop + cons = 3 link traversals
+        report = analyze(line, b.build())
+        energy = estimate(line, report, 1.0, model=model)
+        assert energy.dynamic_joules == pytest.approx(15.0)
+        assert energy.static_joules == 0.0
+
+    def test_switch_traversals_counted(self):
+        """On a fattree the bits entering switches pay the crossbar cost."""
+        from repro.topology import FatTreeTopology
+
+        topo = FatTreeTopology((2, 2))
+        model = EnergyModel(link_energy_per_bit=0.0,
+                            switch_energy_per_bit=1.0,
+                            qfdb_idle_power=0.0, switch_idle_power=0.0)
+        b = FlowBuilder(4)
+        b.add_flow(0, 3, 2.0)  # crosses 3 switches (up, top, down)
+        report = analyze(topo, b.build())
+        energy = estimate(topo, report, 1.0, model=model)
+        assert energy.dynamic_joules == pytest.approx(6.0)
+
+    def test_static_energy_scales_with_duration(self, line):
+        model = EnergyModel(link_energy_per_bit=0.0,
+                            switch_energy_per_bit=0.0,
+                            qfdb_idle_power=2.0, switch_idle_power=0.0)
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, 1.0)
+        report = analyze(line, b.build())
+        e1 = estimate(line, report, 1.0, model=model)
+        e2 = estimate(line, report, 2.0, model=model)
+        assert e1.static_joules == pytest.approx(8.0)   # 4 QFDBs x 2 W x 1 s
+        assert e2.static_joules == pytest.approx(16.0)
+
+    def test_joules_per_bit(self, line):
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, CAP)  # one second of payload
+        report = analyze(line, b.build())
+        energy = estimate(line, report, 1.0)
+        assert energy.bits_delivered == pytest.approx(CAP)
+        assert energy.joules_per_bit == pytest.approx(
+            energy.total_joules / CAP)
+        assert "pJ/bit" in energy.summary()
+
+
+class TestCompare:
+    def test_upper_tier_costs_static_power(self):
+        """A hybrid burns more idle power than the bare torus for the same
+        workload — the cost/benefit trade-off the paper's §5.1 discusses."""
+        b = FlowBuilder(64)
+        for i in range(0, 64, 2):
+            b.add_flow(i, (i + 32) % 64, CAP / 100)
+        flows = b.build()
+        reports = compare({
+            "torus": TorusTopology.cubic(64),
+            "hybrid": NestTree(64, 2, 2),
+        }, flows)
+        assert set(reports) == {"torus", "hybrid"}
+        t, h = reports["torus"], reports["hybrid"]
+        # per second, the hybrid's switches add idle power
+        assert h.static_joules / h.duration > t.static_joules / t.duration

@@ -1,0 +1,119 @@
+"""Tests for the generalised fattree fabric and topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.routing import updown
+from repro.topology import FatTreeFabric, FatTreeTopology
+from repro.topology.planner import fattree_arities
+
+
+class TestFabricStructure:
+    def test_switch_indices_are_dense_and_unique(self):
+        fabric = FatTreeFabric((4, 4, 2))
+        seen = set()
+        for level in range(1, 4):
+            group = 1
+            for k in fabric.arities[:level]:
+                group *= k
+            per_subtree = group // fabric.arities[level - 1]
+            for subtree in range(fabric.num_ports // group):
+                for dv in range(per_subtree):
+                    sw = updown.Switch(level, subtree,
+                                       fabric._digits_of(dv, level))
+                    idx = fabric.switch_index(sw)
+                    assert 0 <= idx < fabric.num_switches
+                    seen.add(idx)
+        assert len(seen) == fabric.num_switches
+
+    def test_invalid_arities(self):
+        with pytest.raises(TopologyError):
+            FatTreeFabric((4, 1))
+        with pytest.raises(TopologyError):
+            FatTreeFabric(())
+
+    def test_port_switch(self):
+        fabric = FatTreeFabric((4, 2))
+        assert fabric.port_switch(0) == fabric.port_switch(3)
+        assert fabric.port_switch(3) != fabric.port_switch(4)
+        with pytest.raises(TopologyError):
+            fabric.port_switch(8)
+
+
+class TestTopologyStructure:
+    def test_counts(self, small_fattree):
+        assert small_fattree.num_endpoints == 32
+        assert small_fattree.num_switches == updown.switch_count((4, 4, 2))
+        # duplex links: 32 access + (ports * (stages-1)) inter-switch
+        assert small_fattree.num_network_links == 2 * (32 + 32 * 2)
+
+    def test_connected(self, small_fattree):
+        assert nx.is_connected(small_fattree.to_networkx())
+
+    def test_switch_degrees_non_blocking(self):
+        topo = FatTreeTopology((4, 4, 4))
+        g = topo.to_networkx()
+        for sw in range(topo.num_endpoints,
+                        topo.num_endpoints + topo.num_switches):
+            # every non-top switch has k down + k up; top has k down
+            assert g.degree(sw) in (8, 4)
+
+    def test_for_ports_uses_planner(self):
+        topo = FatTreeTopology.for_ports(64)
+        assert topo.num_endpoints == 64
+        assert topo.fabric.arities == fattree_arities(64)
+
+
+class TestRouting:
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=100, deadline=None)
+    def test_route_is_valid_walk(self, src, dst):
+        topo = FatTreeTopology((4, 4, 2))
+        p = topo.vertex_path(src, dst)
+        assert p[0] == src and p[-1] == dst
+        for a, b in zip(p, p[1:]):
+            assert topo.links.has(a, b)
+        assert len(set(p)) == len(p)
+
+    def test_length_is_twice_nca_level(self, small_fattree):
+        for src, dst in [(0, 1), (0, 4), (0, 16), (31, 0)]:
+            assert small_fattree.hops(src, dst) == \
+                2 * updown.nca_level(src, dst, (4, 4, 2))
+
+    def test_routing_is_minimal(self, small_fattree):
+        g = small_fattree.to_networkx()
+        for src in range(0, 32, 7):
+            lengths = nx.single_source_shortest_path_length(g, src)
+            for dst in range(32):
+                if dst != src:
+                    assert small_fattree.hops(src, dst) == lengths[dst]
+
+    def test_diameter(self, small_fattree):
+        assert small_fattree.routing_diameter() == 6
+        assert max(small_fattree.hops(s, d)
+                   for s in range(32) for d in range(32) if s != d) == 6
+
+    def test_dmodk_spreads_paths(self):
+        # flows to different destinations from one source should climb
+        # through different level-2 switches (d-mod-k balancing)
+        topo = FatTreeTopology((4, 4))
+        ups = {topo.vertex_path(0, dst)[2] for dst in range(4, 16)}
+        assert len(ups) == 4  # all four up-ports used
+
+
+class TestFabricLinkCount:
+    @pytest.mark.parametrize("arities", [(2, 2), (4, 2), (4, 4, 2), (3, 3, 3)])
+    def test_interswitch_links(self, arities):
+        from repro.topology.linktable import LinkTable
+
+        fabric = FatTreeFabric(arities)
+        table = LinkTable()
+        fabric.build_links(table, 0, 1.0)
+        # each of the n-1 stage boundaries carries `ports` duplex links
+        expected = 2 * fabric.num_ports * (len(arities) - 1)
+        assert table.num_links == expected

@@ -1,0 +1,109 @@
+"""Tests for the fault-tolerance analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import NestTree, TorusTopology
+from repro.topology.faults import (failover_coverage, reroute_uplinks,
+                                   route_survives, sample_link_failures,
+                                   vulnerability)
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    return NestTree(64, 2, 2)
+
+
+class TestSampling:
+    def test_failures_are_cables(self, hybrid):
+        failed = sample_link_failures(hybrid, 5, seed=1)
+        assert len(failed) == 10  # both directions of each cable
+        for lid in failed:
+            u, v = hybrid.links.endpoints_of(lid)
+            assert hybrid.links.id_of(v, u) in failed
+
+    def test_nic_links_never_fail(self, hybrid):
+        failed = sample_link_failures(hybrid, 50, seed=2)
+        nic = set(hybrid.injection_links.tolist()
+                  + hybrid.consumption_links.tolist())
+        assert not failed & nic
+
+    def test_deterministic_by_seed(self, hybrid):
+        assert sample_link_failures(hybrid, 5, seed=3) == \
+            sample_link_failures(hybrid, 5, seed=3)
+
+    def test_too_many_rejected(self, hybrid):
+        with pytest.raises(TopologyError):
+            sample_link_failures(hybrid, 10_000)
+
+
+class TestVulnerability:
+    def test_no_failures_no_breakage(self, hybrid):
+        report = vulnerability(hybrid, set(), pairs=100)
+        assert report.broken_pairs == 0
+        assert report.broken_fraction == 0.0
+
+    def test_failures_break_deterministic_routes(self, hybrid):
+        failed = sample_link_failures(hybrid, 20, seed=0)
+        report = vulnerability(hybrid, failed, pairs=300, seed=0)
+        assert report.broken_pairs > 0
+        assert report.disconnected_pairs <= report.broken_pairs
+        assert "broken" in report.summary()
+
+    def test_most_breakage_is_reroutable(self):
+        """A torus keeps high path diversity: killing a few cables rarely
+        disconnects anything, it only breaks the deterministic DOR path."""
+        topo = TorusTopology((4, 4, 4))
+        failed = sample_link_failures(topo, 8, seed=1)
+        report = vulnerability(topo, failed, pairs=400, seed=1)
+        assert report.broken_pairs > 0
+        assert report.reroutable_fraction > 0.9
+
+    def test_route_survives(self, hybrid):
+        route = set(hybrid.route(0, 63))
+        lid = next(iter(route))
+        assert not route_survives(hybrid, 0, 63, {lid})
+        assert route_survives(hybrid, 0, 63, set())
+
+
+class TestUplinkFailover:
+    def test_healthy_path_unchanged(self, hybrid):
+        assert reroute_uplinks(hybrid, 0, 63, set()) == \
+            hybrid.vertex_path(0, 63)
+
+    def test_failed_designated_uplink_port_is_avoided(self, hybrid):
+        src, dst = 1, 63  # different subtori
+        us = hybrid.designated_uplink(src)
+        path = reroute_uplinks(hybrid, src, dst, {us})
+        # the dead port is never used to enter the upper tier (the node may
+        # still appear as a torus transit hop — only its port is dead)
+        switch_lo = hybrid.num_endpoints
+        for a, b in zip(path, path[1:]):
+            assert not (a == us and b >= switch_lo)
+            assert not (b == us and a >= switch_lo)
+            assert hybrid.links.has(a, b)
+        assert path[0] == src and path[-1] == dst
+
+    def test_intra_subtorus_unaffected(self, hybrid):
+        us = hybrid.designated_uplink(1)
+        assert reroute_uplinks(hybrid, 1, 3, {us}) == hybrid.vertex_path(1, 3)
+
+    def test_all_uplinks_dead_raises(self, hybrid):
+        # kill every uplink of subtorus 0
+        dead = {l for l in range(hybrid.plan.nodes)
+                if (l % hybrid.plan.nodes) in hybrid.plan.uplink_rank}
+        with pytest.raises(TopologyError):
+            reroute_uplinks(hybrid, 1, 63, dead)
+
+    def test_rejects_non_hybrids(self):
+        with pytest.raises(TopologyError):
+            reroute_uplinks(TorusTopology((4, 4)), 0, 1, set())
+
+    def test_coverage_degrades_gracefully(self, hybrid):
+        full = failover_coverage(hybrid, set(), pairs=200)
+        assert full == 1.0
+        one_dead = failover_coverage(hybrid, {hybrid.designated_uplink(0)},
+                                     pairs=200)
+        assert 0.5 < one_dead <= 1.0

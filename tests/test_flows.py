@@ -1,0 +1,153 @@
+"""Tests for FlowBuilder / FlowSet (dependency DAG machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.flows import FlowBuilder
+from repro.errors import WorkloadError
+
+
+def diamond() -> FlowBuilder:
+    """a -> {b, c} -> d"""
+    b = FlowBuilder(4)
+    f_a = b.add_flow(0, 1, 1.0)
+    f_b = b.add_flow(1, 2, 1.0, after=[f_a])
+    f_c = b.add_flow(1, 3, 1.0, after=[f_a])
+    b.add_flow(2, 3, 1.0, after=[f_b, f_c])
+    return b
+
+
+class TestBuilder:
+    def test_ids_sequential(self):
+        b = FlowBuilder(2)
+        assert b.add_flow(0, 1, 1.0) == 0
+        assert b.add_flow(1, 0, 1.0) == 1
+        assert b.num_flows == 2
+
+    def test_validates_tasks(self):
+        b = FlowBuilder(2)
+        with pytest.raises(WorkloadError):
+            b.add_flow(0, 2, 1.0)
+        with pytest.raises(WorkloadError):
+            b.add_flow(-1, 0, 1.0)
+
+    def test_validates_size(self):
+        b = FlowBuilder(2)
+        with pytest.raises(WorkloadError):
+            b.add_flow(0, 1, 0.0)
+
+    def test_validates_dependency_ids(self):
+        b = FlowBuilder(2)
+        b.add_flow(0, 1, 1.0)
+        with pytest.raises(WorkloadError):
+            b.add_dependency(0, 5)
+        with pytest.raises(WorkloadError):
+            b.add_dependency(0, 0)
+
+    def test_needs_a_task(self):
+        with pytest.raises(WorkloadError):
+            FlowBuilder(0)
+
+    def test_chain_helper(self):
+        b = FlowBuilder(2)
+        ids = [b.add_flow(0, 1, 1.0) for _ in range(4)]
+        b.chain(ids)
+        fs = b.build()
+        assert fs.indegree.tolist() == [0, 1, 1, 1]
+
+    def test_barrier_helper(self):
+        b = FlowBuilder(2)
+        pre = [b.add_flow(0, 1, 1.0) for _ in range(2)]
+        post = [b.add_flow(1, 0, 1.0) for _ in range(3)]
+        b.barrier(pre, post)
+        fs = b.build()
+        assert fs.num_dependencies == 6
+        assert fs.indegree.tolist() == [0, 0, 2, 2, 2]
+
+
+class TestFlowSet:
+    def test_diamond_structure(self):
+        fs = diamond().build()
+        assert fs.num_flows == 4
+        assert fs.roots().tolist() == [0]
+        assert sorted(fs.successors(0).tolist()) == [1, 2]
+        assert fs.successors(3).tolist() == []
+        assert fs.indegree.tolist() == [0, 1, 1, 2]
+
+    def test_total_bits(self):
+        fs = diamond().build()
+        assert fs.total_bits == 4.0
+
+    def test_topological_order(self):
+        fs = diamond().build()
+        order = fs.topological_order().tolist()
+        pos = {f: i for i, f in enumerate(order)}
+        assert pos[0] < pos[1] and pos[0] < pos[2]
+        assert pos[1] < pos[3] and pos[2] < pos[3]
+
+    def test_cycle_detection(self):
+        b = FlowBuilder(2)
+        x = b.add_flow(0, 1, 1.0)
+        y = b.add_flow(1, 0, 1.0, after=[x])
+        b.add_dependency(y, x)
+        with pytest.raises(WorkloadError):
+            b.build()
+
+    def test_cycle_detection_can_be_skipped(self):
+        b = FlowBuilder(2)
+        x = b.add_flow(0, 1, 1.0)
+        y = b.add_flow(1, 0, 1.0, after=[x])
+        b.add_dependency(y, x)
+        fs = b.build(validate=False)  # caller's responsibility now
+        with pytest.raises(WorkloadError):
+            fs.topological_order()
+
+    def test_dependency_depth(self):
+        fs = diamond().build()
+        assert fs.dependency_depth() == 3
+
+    def test_dependency_depth_no_deps(self):
+        b = FlowBuilder(2)
+        for _ in range(5):
+            b.add_flow(0, 1, 1.0)
+        assert b.build().dependency_depth() == 1
+
+    def test_empty(self):
+        fs = FlowBuilder(1).build()
+        assert fs.num_flows == 0
+        assert fs.dependency_depth() == 0
+
+
+class TestProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_dags_roundtrip(self, data):
+        """CSR successors/indegree agree with the edge list on random DAGs."""
+        n = data.draw(st.integers(1, 40))
+        b = FlowBuilder(4)
+        for _ in range(n):
+            b.add_flow(data.draw(st.integers(0, 3)),
+                       data.draw(st.integers(0, 3)),
+                       data.draw(st.floats(0.1, 10.0)))
+        edges = set()
+        for _ in range(data.draw(st.integers(0, 60))):
+            succ = data.draw(st.integers(1, n - 1)) if n > 1 else None
+            if succ is None:
+                break
+            pred = data.draw(st.integers(0, succ - 1))  # forward edges: acyclic
+            if (pred, succ) not in edges:
+                edges.add((pred, succ))
+                b.add_dependency(pred, succ)
+        fs = b.build()
+        assert fs.num_dependencies == len(edges)
+        rebuilt = {(p, s) for p in range(n) for s in fs.successors(p).tolist()}
+        assert rebuilt == edges
+        indeg = np.zeros(n, dtype=int)
+        for _, s in edges:
+            indeg[s] += 1
+        assert fs.indegree.tolist() == indeg.tolist()
+        fs.topological_order()  # must not raise

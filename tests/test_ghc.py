@@ -1,0 +1,99 @@
+"""Tests for the generalised hypercube fabric and topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.routing import ecube
+from repro.topology import GHCFabric, GHCTopology
+from repro.topology.linktable import LinkTable
+
+
+class TestFabric:
+    def test_counts(self):
+        fabric = GHCFabric((4, 4), 4)
+        assert fabric.num_switches == 16
+        assert fabric.num_ports == 64
+
+    def test_coord_roundtrip(self):
+        fabric = GHCFabric((3, 4, 2), 1)
+        for sw in range(fabric.num_switches):
+            assert fabric.index_of(fabric.coord_of(sw)) == sw
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            GHCFabric((1, 4), 1)
+        with pytest.raises(TopologyError):
+            GHCFabric((4, 4), 0)
+
+    def test_for_ports_divides_density(self):
+        # 24 ports at pps=16 -> drops to pps=12 (largest divisor <= 16)
+        fabric = GHCFabric.for_ports(24, 16, 2)
+        assert fabric.ports_per_switch == 12
+        assert fabric.num_switches * fabric.ports_per_switch == 24
+
+    def test_for_ports_paper_scale(self):
+        fabric = GHCFabric.for_ports(131072, 16, 4)
+        assert fabric.num_switches == 8192          # paper Table 2, u=1
+        assert sorted(fabric.radices) == [8, 8, 8, 16]
+        assert fabric.routing_diameter() == 6       # paper Table 1, (2,1)
+
+    def test_link_count(self):
+        fabric = GHCFabric((3, 4), 1)
+        table = LinkTable()
+        fabric.build_links(table, 0, 1.0)
+        # undirected edges: S * degree / 2; directed doubles it
+        expected = fabric.num_switches * ecube.degree((3, 4))
+        assert table.num_links == expected
+
+
+class TestTopology:
+    def test_counts(self, small_ghc):
+        assert small_ghc.num_endpoints == 64
+        assert small_ghc.num_switches == 16
+
+    def test_connected(self, small_ghc):
+        assert nx.is_connected(small_ghc.to_networkx())
+
+    def test_switch_degree(self, small_ghc):
+        g = small_ghc.to_networkx()
+        for sw in range(64, 64 + 16):
+            # 4 endpoints + (3 + 3) fabric neighbours
+            assert g.degree(sw) == 4 + 6
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_route_is_valid_walk(self, src, dst):
+        topo = GHCTopology((4, 4), ports_per_switch=4)
+        p = topo.vertex_path(src, dst)
+        assert p[0] == src and p[-1] == dst
+        for a, b in zip(p, p[1:]):
+            assert topo.links.has(a, b)
+        assert len(set(p)) == len(p)
+
+    def test_same_switch_two_hops(self, small_ghc):
+        # endpoints 0..3 share switch 0
+        assert small_ghc.hops(0, 1) == 2
+
+    def test_hops_equal_hamming_plus_access(self, small_ghc):
+        fabric = small_ghc.fabric
+        for src, dst in [(0, 5), (0, 63), (17, 42)]:
+            a = fabric.coord_of(fabric.port_switch(src))
+            b = fabric.coord_of(fabric.port_switch(dst))
+            assert small_ghc.hops(src, dst) == \
+                ecube.hamming(a, b, fabric.radices) + 2
+
+    def test_routing_is_minimal(self, small_ghc):
+        g = small_ghc.to_networkx()
+        lengths = nx.single_source_shortest_path_length(g, 0)
+        for dst in range(1, 64):
+            assert small_ghc.hops(0, dst) == lengths[dst]
+
+    def test_diameter(self, small_ghc):
+        brute = max(small_ghc.hops(s, d)
+                    for s in range(64) for d in range(64) if s != d)
+        assert small_ghc.routing_diameter() == brute == 4

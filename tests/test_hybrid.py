@@ -1,0 +1,173 @@
+"""Tests for subtorus plans, uplink placement and nested routing."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.routing import dor
+from repro.topology import NestGHC, NestTree, SubtorusPlan
+
+
+class TestSubtorusPlan:
+    @pytest.mark.parametrize("t,u", [(2, 1), (2, 2), (2, 4), (2, 8),
+                                     (4, 1), (4, 2), (4, 4), (4, 8),
+                                     (8, 1), (8, 2), (8, 4), (8, 8)])
+    def test_uplink_count_matches_density(self, t, u):
+        plan = SubtorusPlan(t, u)
+        assert len(plan.uplinked) == t ** 3 // u
+
+    def test_invalid_density(self):
+        with pytest.raises(TopologyError):
+            SubtorusPlan(2, 3)
+
+    def test_odd_side_rejected_for_sparse(self):
+        with pytest.raises(TopologyError):
+            SubtorusPlan(3, 2)
+        SubtorusPlan(3, 1)  # u=1 allows any side
+
+    def test_u1_everyone_uplinked(self):
+        plan = SubtorusPlan(2, 1)
+        assert plan.uplinked == list(range(8))
+        assert plan.designated == list(range(8))
+
+    def test_u2_even_x_rule(self):
+        plan = SubtorusPlan(4, 2)
+        for local in plan.uplinked:
+            x, _, _ = dor.index_to_coord(local, plan.dims)
+            assert x % 2 == 0
+
+    @pytest.mark.parametrize("t", [2, 4, 8])
+    def test_u2_designated_one_x_hop(self, t):
+        plan = SubtorusPlan(t, 2)
+        assert plan.max_hops_to_uplink() == 1
+        for local, des in enumerate(plan.designated):
+            lx, ly, lz = dor.index_to_coord(local, plan.dims)
+            dx, dy, dz = dor.index_to_coord(des, plan.dims)
+            assert (ly, lz) == (dy, dz)        # only the X dim moves
+            assert abs(lx - dx) <= 1
+
+    @pytest.mark.parametrize("t", [2, 4, 8])
+    def test_u4_opposite_vertices_within_one_hop(self, t):
+        plan = SubtorusPlan(t, 4)
+        assert plan.max_hops_to_uplink() == 1   # paper Fig. 3c
+        for local in plan.uplinked:
+            x, y, z = dor.index_to_coord(local, plan.dims)
+            assert (x % 2, y % 2, z % 2) in ((0, 0, 0), (1, 1, 1))
+
+    @pytest.mark.parametrize("t", [2, 4, 8])
+    def test_u8_subgrid_roots_within_three_hops(self, t):
+        plan = SubtorusPlan(t, 8)
+        assert plan.max_hops_to_uplink() == 3   # corner of a 2x2x2 subgrid
+        for local in plan.uplinked:
+            coord = dor.index_to_coord(local, plan.dims)
+            assert all(c % 2 == 0 for c in coord)
+
+    def test_designated_is_uplinked(self):
+        for u in (1, 2, 4, 8):
+            plan = SubtorusPlan(4, u)
+            uplinked = set(plan.uplinked)
+            assert all(d in uplinked for d in plan.designated)
+
+    def test_designated_stays_in_subgrid(self):
+        plan = SubtorusPlan(8, 8)
+        for local, des in enumerate(plan.designated):
+            lc = dor.index_to_coord(local, plan.dims)
+            dc = dor.index_to_coord(des, plan.dims)
+            assert all(l - l % 2 == d - d % 2
+                       for l, d in zip(lc, dc))
+
+    def test_intra_diameter(self):
+        assert SubtorusPlan(2, 1).intra_diameter() == 3
+        assert SubtorusPlan(4, 1).intra_diameter() == 6
+        assert SubtorusPlan(8, 1).intra_diameter() == 12
+
+
+class TestNestedConstruction:
+    def test_endpoint_count_must_tile(self):
+        with pytest.raises(TopologyError):
+            NestTree(100, 2, 2)  # 100 not a multiple of 8
+
+    def test_connected(self, small_nesttree, small_nestghc):
+        assert nx.is_connected(small_nesttree.to_networkx())
+        assert nx.is_connected(small_nestghc.to_networkx())
+
+    def test_port_bijection(self, small_nesttree):
+        topo = small_nesttree
+        ports = set()
+        for e in range(topo.num_endpoints):
+            local = e % topo.plan.nodes
+            if local in topo.plan.uplink_rank:
+                ports.add(topo.port_of(e))
+            else:
+                with pytest.raises(TopologyError):
+                    topo.port_of(e)
+        assert ports == set(range(topo.fabric.num_ports))
+
+    def test_uplinked_endpoints_have_access_links(self, small_nesttree):
+        topo = small_nesttree
+        for e in range(topo.num_endpoints):
+            local = e % topo.plan.nodes
+            sw = topo._switch_offset + topo.fabric.port_switch(
+                topo.port_of(e)) if local in topo.plan.uplink_rank else None
+            if sw is not None:
+                assert topo.links.has(e, sw) and topo.links.has(sw, e)
+
+
+class TestNestedRouting:
+    def test_intra_subtorus_never_leaves(self, small_nesttree):
+        topo = small_nesttree
+        nodes = topo.plan.nodes
+        for s in range(3):
+            base = s * nodes
+            for a in range(nodes):
+                for b in range(nodes):
+                    path = topo.vertex_path(base + a, base + b)
+                    assert all(base <= v < base + nodes for v in path)
+
+    def test_inter_subtorus_crosses_fabric_once(self, small_nesttree):
+        topo = small_nesttree
+        path = topo.vertex_path(0, topo.num_endpoints - 1)
+        switch_spans = []
+        in_switches = False
+        for v in path:
+            is_switch = v >= topo.num_endpoints
+            if is_switch and not in_switches:
+                switch_spans.append(1)
+            elif is_switch:
+                switch_spans[-1] += 1
+            in_switches = is_switch
+        assert len(switch_spans) == 1
+
+    @pytest.mark.parametrize("fixture", ["small_nesttree", "small_nestghc"])
+    def test_all_routes_are_valid_walks(self, fixture, request):
+        topo = request.getfixturevalue(fixture)
+        n = topo.num_endpoints
+        for src in range(0, n, 7):
+            for dst in range(0, n, 5):
+                p = topo.vertex_path(src, dst)
+                assert p[0] == src and p[-1] == dst
+                for a, b in zip(p, p[1:]):
+                    assert topo.links.has(a, b)
+                assert len(set(p)) == len(p)
+
+    def test_inter_route_goes_via_designated_uplinks(self, small_nesttree):
+        topo = small_nesttree
+        src, dst = 1, topo.num_endpoints - 1  # different subtori
+        path = topo.vertex_path(src, dst)
+        us = topo.designated_uplink(src)
+        ud = topo.designated_uplink(dst)
+        assert us in path and ud in path
+
+    def test_routing_diameter_matches_brute_force(self):
+        for topo in (NestTree(64, 2, 2), NestTree(64, 2, 8),
+                     NestGHC(64, 2, 4, ports_per_switch=4, ghc_dims=2)):
+            brute = max(topo.hops(s, d)
+                        for s in range(topo.num_endpoints)
+                        for d in range(topo.num_endpoints) if s != d)
+            assert topo.routing_diameter() == brute
+
+    def test_single_subtorus_degenerates_to_torus_diameter(self):
+        topo = NestTree(8, 2, 1)  # one subtorus; upper tier unused intra
+        assert topo.routing_diameter() == 3

@@ -1,0 +1,84 @@
+"""Tests for the Jellyfish comparator topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.jellyfish import JellyfishTopology
+
+
+@pytest.fixture(scope="module")
+def jf():
+    return JellyfishTopology(16, 4, 4, seed=3)  # 64 endpoints
+
+
+class TestConstruction:
+    def test_counts(self, jf):
+        assert jf.num_endpoints == 64
+        assert jf.num_switches == 16
+        # 16 switches x degree 4 / 2 cables + 64 access cables
+        assert jf.num_network_links == 2 * (32 + 64)
+
+    def test_regularity(self, jf):
+        g = jf.to_networkx()
+        for sw in range(64, 80):
+            assert g.degree(sw) == 4 + 4  # fabric + endpoints
+
+    def test_connected(self, jf):
+        assert nx.is_connected(jf.to_networkx())
+
+    def test_seed_changes_wiring(self):
+        a = JellyfishTopology(16, 4, 1, seed=1)
+        b = JellyfishTopology(16, 4, 1, seed=2)
+        assert a.links.pairs() != b.links.pairs()
+
+    def test_same_seed_same_wiring(self):
+        a = JellyfishTopology(16, 4, 1, seed=5)
+        b = JellyfishTopology(16, 4, 1, seed=5)
+        assert a.links.pairs() == b.links.pairs()
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            JellyfishTopology(8, 9, 1)     # degree >= switches
+        with pytest.raises(TopologyError):
+            JellyfishTopology(5, 3, 1)     # odd degree sum
+        with pytest.raises(TopologyError):
+            JellyfishTopology(1, 2, 1)
+
+
+class TestRouting:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_routes_are_valid_walks(self, src, dst):
+        topo = JellyfishTopology(16, 4, 4, seed=3)
+        p = topo.vertex_path(src, dst)
+        assert p[0] == src and p[-1] == dst
+        for a, b in zip(p, p[1:]):
+            assert topo.links.has(a, b)
+        assert len(set(p)) == len(p)
+
+    def test_routing_is_minimal(self, jf):
+        g = jf.to_networkx()
+        for src in (0, 17, 42):
+            lengths = nx.single_source_shortest_path_length(g, src)
+            for dst in range(64):
+                if dst != src:
+                    assert jf.hops(src, dst) == lengths[dst]
+
+    def test_routing_is_deterministic(self, jf):
+        assert jf.vertex_path(0, 63) == jf.vertex_path(0, 63)
+
+    def test_diameter_matches_brute_force(self, jf):
+        brute = max(jf.hops(s, d) for s in range(64) for d in range(64)
+                    if s != d)
+        assert jf.routing_diameter() == brute
+
+    def test_random_graphs_have_low_diameter(self):
+        """The Jellyfish selling point: random wiring stays within one hop
+        of the Moore bound (ceil(log_{d-1} n) = 3 for 64 switches, d=6)."""
+        topo = JellyfishTopology(64, 6, 1, seed=0)
+        assert topo.routing_diameter() <= 4 + 2

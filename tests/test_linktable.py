@@ -1,0 +1,97 @@
+"""Tests for the directed-link registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.linktable import LinkTable
+
+
+class TestAdd:
+    def test_ids_are_dense(self):
+        t = LinkTable()
+        assert t.add(0, 1, 1.0) == 0
+        assert t.add(1, 0, 1.0) == 1
+        assert t.num_links == 2
+
+    def test_duplicate_rejected(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        with pytest.raises(TopologyError):
+            t.add(0, 1, 1.0)
+
+    def test_opposite_direction_is_distinct(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        t.add(1, 0, 2.0)  # fine
+
+    def test_nonpositive_capacity_rejected(self):
+        t = LinkTable()
+        with pytest.raises(TopologyError):
+            t.add(0, 1, 0.0)
+        with pytest.raises(TopologyError):
+            t.add(0, 1, -5.0)
+
+    def test_add_duplex(self):
+        t = LinkTable()
+        a, b = t.add_duplex(3, 7, 2.0)
+        assert t.endpoints_of(a) == (3, 7)
+        assert t.endpoints_of(b) == (7, 3)
+
+    def test_frozen_rejects_additions(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        t.freeze()
+        with pytest.raises(TopologyError):
+            t.add(1, 2, 1.0)
+
+
+class TestLookup:
+    def test_id_of(self):
+        t = LinkTable()
+        lid = t.add(2, 5, 1.0)
+        assert t.id_of(2, 5) == lid
+        assert t.has(2, 5) and not t.has(5, 2)
+
+    def test_missing_raises(self):
+        t = LinkTable()
+        with pytest.raises(TopologyError):
+            t.id_of(0, 1)
+        with pytest.raises(TopologyError):
+            t.endpoints_of(0)
+
+    def test_path_to_links(self):
+        t = LinkTable()
+        a = t.add(0, 1, 1.0)
+        b = t.add(1, 2, 1.0)
+        assert t.path_to_links([0, 1, 2]) == [a, b]
+        assert t.path_to_links([0]) == []
+
+    def test_path_over_missing_link_raises(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        with pytest.raises(TopologyError):
+            t.path_to_links([0, 1, 2])
+
+
+class TestCapacities:
+    def test_vector_matches_registration_order(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        t.add(1, 2, 3.0)
+        assert np.allclose(t.capacities, [1.0, 3.0])
+
+    def test_vector_is_immutable(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            t.capacities[0] = 9.0
+
+    def test_pairs_copy(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        pairs = t.pairs()
+        pairs[(9, 9)] = 99
+        assert not t.has(9, 9)

@@ -1,0 +1,127 @@
+"""Integration tests: the paper's headline claims on a small system.
+
+These are end-to-end runs of the full pipeline (topology -> workload ->
+simulation -> normalisation) at 512 endpoints, asserting the *orderings*
+the paper reports in Section 5.2.  They are the strongest correctness
+signal in the suite: every layer has to cooperate for these to hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_topology, build_workload, simulate
+from repro.mapping.placement import spread_placement
+
+N = 512
+
+
+@pytest.fixture(scope="module")
+def topos():
+    return {
+        "torus": build_topology("torus", N),
+        "fattree": build_topology("fattree", N),
+        "nesttree_dense": build_topology("nesttree", N, t=2, u=1),
+        "nesttree_sparse": build_topology("nesttree", N, t=4, u=8),
+        "nestghc_dense": build_topology("nestghc", N, t=2, u=1),
+    }
+
+
+def run_all(topos, workload_name, tasks=N, **params):
+    flows = build_workload(workload_name, tasks, **params).build()
+    placement = None if tasks == N else spread_placement(tasks, N)
+    return {label: simulate(t, flows, placement=placement,
+                            fidelity="approx").makespan
+            for label, t in topos.items()}
+
+
+class TestHeavyWorkloadClaims:
+    def test_torus_gap_grows_with_scale(self):
+        """'execution time is up to one order of magnitude slower' (§5.2).
+
+        The torus penalty is a *scaling* phenomenon: average distance grows
+        with the machine while the fattree's stays ~6, so the gap widens
+        from negligible at 512 endpoints towards the paper's order of
+        magnitude at 131,072.  We check the mechanism at two sizes.
+        """
+        ratios = {}
+        for n in (512, 2048):
+            flows = build_workload("unstructuredapp", n, seed=0).build()
+            fat = simulate(build_topology("fattree", n), flows,
+                           fidelity="approx").makespan
+            tor = simulate(build_topology("torus", n), flows,
+                           fidelity="approx").makespan
+            ratios[n] = tor / fat
+        assert ratios[512] >= 1.0
+        assert ratios[2048] > 1.5
+        assert ratios[2048] > ratios[512]
+
+    def test_dense_hybrid_competitive_with_fattree(self, topos):
+        times = run_all(topos, "unstructuredapp", seed=0)
+        assert times["nesttree_dense"] <= 1.25 * times["fattree"]
+
+    def test_sparse_uplinks_cripple_heavy_traffic(self, topos):
+        """'reducing density can have a severe effect' (§5.2)."""
+        times = run_all(topos, "unstructuredapp", seed=0)
+        assert times["nesttree_sparse"] > 1.5 * times["nesttree_dense"]
+
+    def test_nbodies_torus_pathology(self, topos):
+        """Under a fragmented allocation (the explorer's policy for the
+        ring workload) the torus pays its long paths."""
+        from repro.mapping.placement import random_placement
+
+        flows = build_workload("nbodies", 128).build()
+        placement = random_placement(128, N, seed=0)
+        times = {label: simulate(t, flows, placement=placement,
+                                 fidelity="approx").makespan
+                 for label, t in topos.items()}
+        assert times["torus"] > 1.15 * times["fattree"]
+
+    def test_ghc_and_tree_uppers_are_close(self, topos):
+        """'little difference between the performance of a fattree and the
+        generalized hypercube' (§5.2) — with one caveat: XOR-structured
+        collectives concentrate all of a switch's co-located ports onto a
+        single inter-switch GHC link, which the scaled-down fabric (lower
+        radices than the paper's 8/8/8/16) amplifies.  We bound the gap
+        rather than demand parity."""
+        times = run_all(topos, "allreduce")
+        ratio = times["nestghc_dense"] / times["nesttree_dense"]
+        assert 0.5 < ratio < 4.0
+        # on unstructured traffic the two upper tiers are genuinely close
+        times = run_all(topos, "unstructuredapp", seed=0)
+        ratio = times["nestghc_dense"] / times["nesttree_dense"]
+        assert 0.6 < ratio < 1.7
+
+
+class TestLightWorkloadClaims:
+    def test_reduce_identical_everywhere(self, topos):
+        times = run_all(topos, "reduce")
+        values = list(times.values())
+        assert max(values) / min(values) < 1.02
+
+    def test_sweep3d_torus_wins(self, topos):
+        """'the best performing topology is the torus because the topology
+        matches ... the grid-like nature' (§5.2)."""
+        times = run_all(topos, "sweep3d")
+        assert times["torus"] <= min(times.values()) * 1.001
+
+    def test_flood_torus_wins(self, topos):
+        times = run_all(topos, "flood")
+        assert times["torus"] <= min(times.values()) * 1.001
+
+    def test_nearneighbors_inverts_back(self, topos):
+        """Same spatial pattern as Sweep3D, but all nodes send at once, so
+        the torus loses again (§5.2)."""
+        times = run_all(topos, "nearneighbors")
+        assert times["torus"] > times["fattree"]
+
+
+class TestCrossFidelityOrdering:
+    def test_orderings_stable_across_fidelity(self, topos):
+        flows = build_workload("unstructuredhr", N, seed=1).build()
+        subset = {k: topos[k] for k in ("torus", "fattree", "nesttree_dense")}
+        exact = {k: simulate(t, flows, fidelity="exact").makespan
+                 for k, t in subset.items()}
+        approx = {k: simulate(t, flows, fidelity="approx").makespan
+                  for k, t in subset.items()}
+        assert sorted(exact, key=exact.get) == sorted(approx, key=approx.get)

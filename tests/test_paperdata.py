@@ -1,0 +1,67 @@
+"""Tests for the transcribed paper data and internal consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import paperdata
+from repro.core.config import PAPER_CONFIGS
+
+
+class TestTables:
+    def test_table1_covers_every_design_point(self):
+        assert set(paperdata.TABLE1) == set(PAPER_CONFIGS)
+
+    def test_table2_covers_every_design_point(self):
+        assert set(paperdata.TABLE2) == set(PAPER_CONFIGS)
+
+    def test_table2_depends_only_on_u(self):
+        """The paper's switch counts are a function of density alone."""
+        for u in (1, 2, 4, 8):
+            rows = {paperdata.TABLE2[(t, u)] for t in (2, 4, 8)}
+            assert len(rows) == 1
+
+    def test_table1_distances_decrease_with_density(self):
+        for t in (2, 4, 8):
+            ghc = [paperdata.TABLE1[(t, u)][0] for u in (8, 4, 2, 1)]
+            tree = [paperdata.TABLE1[(t, u)][1] for u in (8, 4, 2, 1)]
+            assert ghc == sorted(ghc, reverse=True)
+            assert tree == sorted(tree, reverse=True)
+
+    def test_ghc_always_at_most_tree(self):
+        """'the generalised hypercube provides shorter paths by a slight
+        margin' — holds in every published row."""
+        for (t, u), (avg_g, avg_t, _, _) in paperdata.TABLE1.items():
+            assert avg_g <= avg_t, (t, u)
+
+    def test_cost_model_consistency(self):
+        """Published percentages equal switches x (0.75 | 0.25) / N."""
+        for (t, u), row in paperdata.TABLE2.items():
+            _, sw_tree, _, cost_tree, _, power_tree = row
+            n = paperdata.PAPER_ENDPOINTS
+            assert cost_tree == pytest.approx(sw_tree * 0.75 / n * 100,
+                                              abs=0.005)
+            assert power_tree == pytest.approx(sw_tree * 0.25 / n * 100,
+                                               abs=0.005)
+
+
+class TestClaims:
+    def test_every_workload_has_exactly_one_claim(self):
+        from repro.workloads import heavy_workloads, light_workloads
+
+        claimed = {c.workload for c in paperdata.FIGURE_CLAIMS}
+        assert claimed == set(heavy_workloads()) | set(light_workloads())
+
+    def test_claims_partition_by_figure(self):
+        fig4 = {c.workload for c in paperdata.claims_for(4)}
+        fig5 = {c.workload for c in paperdata.claims_for(5)}
+        assert not fig4 & fig5
+        assert len(fig4) == 6 and len(fig5) == 5
+
+    def test_figure_assignment_matches_classification(self):
+        from repro.workloads import build
+
+        for claim in paperdata.FIGURE_CLAIMS:
+            wl = build(claim.workload, 16)
+            expected = "heavy" if claim.figure == 4 else "light"
+            assert wl.classification == expected, claim.workload

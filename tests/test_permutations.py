@@ -1,0 +1,119 @@
+"""Tests for the classic permutation traffic patterns."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import simulate
+from repro.errors import WorkloadError
+from repro.topology import FatTreeTopology, TorusTopology
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+from repro.workloads.permutations import (PATTERNS, Permutation,
+                                          bit_complement, bit_reversal,
+                                          neighbor, shuffle, tornado,
+                                          transpose)
+
+pow2 = st.sampled_from([4, 16, 64, 256])
+
+
+class TestPatternAlgebra:
+    def test_bit_reversal_known(self):
+        assert bit_reversal(1, 8) == 4
+        assert bit_reversal(3, 8) == 6
+
+    def test_bit_reversal_is_involution(self):
+        for t in range(64):
+            assert bit_reversal(bit_reversal(t, 64), 64) == t
+
+    def test_bit_complement_known(self):
+        assert bit_complement(0, 16) == 15
+        assert bit_complement(5, 16) == 10
+
+    def test_transpose_known(self):
+        # 4 bits: task 0b0001 -> 0b0100
+        assert transpose(1, 16) == 4
+        assert transpose(transpose(7, 16), 16) == 7
+
+    def test_transpose_needs_even_bits(self):
+        with pytest.raises(WorkloadError):
+            transpose(0, 8)
+
+    def test_shuffle_rotates(self):
+        assert shuffle(0b100, 8) == 0b001
+        assert shuffle(0b011, 8) == 0b110
+
+    def test_tornado_offset(self):
+        assert tornado(0, 16) == 7
+        assert tornado(10, 16) == 1
+
+    def test_neighbor(self):
+        assert neighbor(15, 16) == 0
+
+    @given(pow2, st.sampled_from(sorted(PATTERNS)))
+    @settings(max_examples=60, deadline=None)
+    def test_every_pattern_is_a_permutation(self, n, name):
+        if name == "transpose" and (n.bit_length() - 1) % 2:
+            return
+        fn = PATTERNS[name]
+        dests = [fn(t, n) for t in range(n)]
+        assert sorted(dests) == list(range(n))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            bit_reversal(0, 12)
+
+
+class TestWorkload:
+    def test_flow_count(self):
+        fs = Permutation(16, pattern="bitcomplement").build()
+        assert fs.num_flows == 16  # no fixed points
+
+    def test_fixed_points_skipped(self):
+        fs = Permutation(16, pattern="transpose").build()
+        # transpose fixes ids whose halves are equal: 4 of 16
+        assert fs.num_flows == 12
+
+    def test_repetitions_chain(self):
+        fs = Permutation(16, pattern="tornado", repetitions=3).build()
+        assert fs.num_flows == 48
+        assert fs.dependency_depth() == 3
+
+    def test_unknown_pattern(self):
+        with pytest.raises(WorkloadError):
+            Permutation(16, pattern="zigzag")
+
+    def test_describe(self):
+        assert "tornado" in Permutation(16, pattern="tornado").describe()
+
+
+class TestPathologies:
+    def test_tornado_hurts_the_torus(self):
+        """The tornado pattern concentrates half-ring flows on the same
+        direction of every ring: the classic DOR-torus pathology."""
+        n = 64
+        torus = TorusTopology((n,))
+        fat = FatTreeTopology((4, 4, 4))
+        flows = Permutation(n, pattern="tornado",
+                            message_size=CAP / 50).build()
+        t_torus = simulate(torus, flows).makespan
+        t_fat = simulate(fat, flows).makespan
+        assert t_torus > 3 * t_fat
+
+    def test_neighbor_is_the_torus_best_case(self):
+        n = 64
+        torus = TorusTopology((n,))
+        flows = Permutation(n, pattern="neighbor",
+                            message_size=CAP / 50).build()
+        t = simulate(torus, flows).makespan
+        # fully parallel single-hop ring: one message time
+        assert t == pytest.approx((CAP / 50) / CAP)
+
+    def test_bitcomplement_crosses_bisection(self):
+        """Every bit-complement flow crosses the middle of the machine."""
+        topo = TorusTopology((16,), wraparound=False)
+        wl = Permutation(16, pattern="bitcomplement")
+        for src, dst in enumerate(wl._destinations):
+            lo, hi = min(src, dst), max(src, dst)
+            assert lo < 8 <= hi

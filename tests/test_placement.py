@@ -1,0 +1,54 @@
+"""Tests for task-to-endpoint placements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mapping import (block_placement, by_name, identity_placement,
+                           random_placement, spread_placement)
+
+
+class TestPolicies:
+    def test_identity(self):
+        assert identity_placement(4, 8).tolist() == [0, 1, 2, 3]
+
+    def test_block_offset(self):
+        assert block_placement(4, 8, offset=6).tolist() == [6, 7, 0, 1]
+
+    def test_spread_covers_machine(self):
+        p = spread_placement(4, 16)
+        assert p.tolist() == [0, 4, 8, 12]
+
+    def test_spread_full_occupancy(self):
+        p = spread_placement(8, 8)
+        assert sorted(p.tolist()) == list(range(8))
+
+    def test_random_distinct_and_seeded(self):
+        a = random_placement(10, 64, seed=1)
+        b = random_placement(10, 64, seed=1)
+        c = random_placement(10, 64, seed=2)
+        assert len(set(a.tolist())) == 10
+        assert (a == b).all()
+        assert (a != c).any()
+
+    def test_all_policies_produce_distinct_endpoints(self):
+        for name in ("identity", "block", "spread", "random"):
+            p = by_name(name, 12, 48)
+            assert len(np.unique(p)) == 12
+            assert p.min() >= 0 and p.max() < 48
+
+
+class TestValidation:
+    def test_too_many_tasks(self):
+        with pytest.raises(ConfigError):
+            identity_placement(9, 8)
+
+    def test_zero_tasks(self):
+        with pytest.raises(ConfigError):
+            spread_placement(0, 8)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            by_name("teleport", 4, 8)

@@ -1,0 +1,103 @@
+"""Tests for the sizing planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import planner
+
+
+class TestPrimeFactors:
+    def test_known(self):
+        assert planner.prime_factors(360) == [2, 2, 2, 3, 3, 5]
+        assert planner.prime_factors(1) == []
+        assert planner.prime_factors(97) == [97]
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            planner.prime_factors(0)
+
+    @given(st.integers(1, 100_000))
+    def test_product_reconstructs(self, n):
+        assert math.prod(planner.prime_factors(n)) == n
+
+
+class TestBalancedFactors:
+    @given(st.integers(1, 1_000_000), st.integers(1, 5))
+    def test_product_and_order(self, n, parts):
+        factors = planner.balanced_factors(n, parts)
+        assert len(factors) == parts
+        assert math.prod(factors) == n
+        assert list(factors) == sorted(factors)
+
+    def test_powers_of_two_are_balanced(self):
+        assert planner.balanced_factors(4096, 3) == (16, 16, 16)
+        assert planner.balanced_factors(131072, 3) == (32, 64, 64)
+
+    def test_invalid_parts(self):
+        with pytest.raises(TopologyError):
+            planner.balanced_factors(8, 0)
+
+
+class TestFatTreeArities:
+    def test_paper_rule_full_scale(self):
+        # reproduces Table 2: 131072 ports -> (32,32,128), 9216 switches
+        assert planner.fattree_arities(131072) == (32, 32, 128)
+        assert planner.fattree_arities(65536) == (32, 32, 64)
+        assert planner.fattree_arities(32768) == (32, 32, 32)
+        assert planner.fattree_arities(16384) == (32, 32, 16)
+
+    def test_balanced_fallback(self):
+        assert planner.fattree_arities(4096) == (16, 16, 16)
+        assert planner.fattree_arities(512) == (8, 8, 8)
+
+    def test_small_port_counts_drop_stages(self):
+        assert planner.fattree_arities(4) == (2, 2)
+        assert planner.fattree_arities(2) == (2,)
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            planner.fattree_arities(1)
+
+    @given(st.integers(1, 12))
+    def test_power_of_two_ports_always_plan(self, e):
+        ports = 2 ** e
+        arities = planner.fattree_arities(ports)
+        assert math.prod(arities) == ports
+        assert all(k >= 2 for k in arities)
+
+
+class TestGHCRadices:
+    def test_four_dims_default(self):
+        assert planner.ghc_radices(8192) == (8, 8, 8, 16)
+
+    def test_small_counts_drop_dims(self):
+        assert planner.ghc_radices(4) == (2, 2)
+        assert planner.ghc_radices(2) == (2,)
+
+    def test_single_vertex_degenerates(self):
+        assert planner.ghc_radices(1) == ()
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            planner.ghc_radices(0)
+
+    @given(st.integers(2, 100_000))
+    def test_product(self, n):
+        radices = planner.ghc_radices(n)
+        assert math.prod(radices) == n
+        assert all(k >= 2 for k in radices)
+
+
+class TestTorusDims:
+    def test_full_scale(self):
+        assert planner.torus_dims(131072) == (32, 64, 64)
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(TopologyError):
+            planner.torus_dims(7, 3)  # prime: cannot fill 3 dims

@@ -1,0 +1,78 @@
+"""Tests for the topology and workload registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology import registry as topo_registry
+from repro.workloads import registry as wl_registry
+from repro.workloads.base import HEAVY, LIGHT
+
+
+class TestTopologyRegistry:
+    def test_available_families(self):
+        assert {"torus", "fattree", "thintree", "ghc", "nesttree",
+                "nestghc"} <= set(topo_registry.available())
+
+    def test_build_each_family(self):
+        assert topo_registry.build("torus", 64).name == "torus"
+        assert topo_registry.build("fattree", 64).name == "fattree"
+        assert topo_registry.build("ghc", 64,
+                                   ports_per_switch=4).name == "ghc"
+        assert topo_registry.build("nesttree", 64, t=2, u=2).name == "nesttree"
+        assert topo_registry.build("nestghc", 64, t=2, u=4,
+                                   ports_per_switch=4).name == "nestghc"
+
+    def test_torus_explicit_dims(self):
+        topo = topo_registry.build("torus", 0, dims=(4, 2))
+        assert topo.num_endpoints == 8
+
+    def test_fattree_explicit_arities(self):
+        topo = topo_registry.build("fattree", 0, arities=(4, 2))
+        assert topo.num_endpoints == 8
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigError):
+            topo_registry.build("hypertorus9000", 64)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            topo_registry.register("torus", lambda n, p: None)
+
+    def test_ghc_indivisible_ports(self):
+        with pytest.raises(ConfigError):
+            topo_registry.build("ghc", 66, ports_per_switch=4)
+
+
+class TestWorkloadRegistry:
+    def test_paper_eleven_plus_extras_present(self):
+        assert len(wl_registry.available()) == 12  # 11 paper + permutation
+        assert "permutation" in wl_registry.available()
+
+    def test_paper_figure_grouping(self):
+        assert wl_registry.heavy_workloads() == sorted(
+            ["unstructuredapp", "unstructuredhr", "bisection", "allreduce",
+             "nbodies", "nearneighbors"])
+        assert wl_registry.light_workloads() == sorted(
+            ["unstructuredmgnt", "mapreduce", "reduce", "flood", "sweep3d"])
+
+    def test_build(self):
+        wl = wl_registry.build("reduce", 16)
+        assert wl.name == "reduce"
+        assert wl.num_tasks == 16
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            wl_registry.build("alltoallv", 16)
+
+    def test_classifications_are_valid(self):
+        from repro.workloads.base import EXTRA
+
+        for name in wl_registry.available():
+            wl = wl_registry.build(name, 16)
+            assert wl.classification in (HEAVY, LIGHT, EXTRA)
+
+    def test_extras_stay_out_of_the_figures(self):
+        assert "permutation" not in wl_registry.heavy_workloads()
+        assert "permutation" not in wl_registry.light_workloads()

@@ -1,0 +1,70 @@
+"""Tests for the report renderers (Tables 1-2, figure series)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DesignSpaceExplorer, claims_report, figure, table1, table2
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    explorer = DesignSpaceExplorer(64, configs=[(2, 1), (2, 2)],
+                                   fidelity="approx", quadratic_tasks=16)
+    return explorer.run(["reduce", "sweep3d"])
+
+
+class TestTable1:
+    def test_small_scale_renders(self):
+        text = table1(64, max_pairs=5000, configs=[(2, 1), (2, 2)])
+        assert "Table 1" in text
+        assert "(2,1)" in text and "(2,2)" in text
+        assert "fattree avg" in text and "torus" in text
+
+    def test_no_paper_columns_off_scale(self):
+        text = table1(64, max_pairs=2000, configs=[(2, 1)])
+        assert "paper" not in text
+
+    def test_paper_columns_forced(self):
+        text = table1(64, max_pairs=2000, configs=[(2, 1)],
+                      compare_paper=True)
+        assert "5.87/5.98" in text  # paper's (2,1) row
+
+
+class TestTable2:
+    def test_small_scale_renders(self):
+        text = table2(4096, configs=[(2, 1), (2, 8)])
+        assert "sw GHC" in text and "%" in text
+
+    def test_full_scale_matches_paper_fattree_column(self):
+        text = table2(131072)
+        # Table 2 row (·,1): 9216 tree switches at +5.27% / +1.76%
+        assert "9216" in text and "5.27%" in text and "1.76%" in text
+
+    def test_reference_footer(self):
+        text = table2(131072)
+        assert "Reference: full fattree needs 9216 switches" in text
+
+
+class TestFigure:
+    def test_renders_all_configs(self, small_table):
+        text = figure(small_table, ["reduce", "sweep3d"], title="Mini")
+        assert "== reduce ==" in text and "== sweep3d ==" in text
+        assert "(2,1)" in text and "(2,2)" in text
+        assert "NestGHC" in text and "Torus3D" in text
+
+    def test_reference_column_is_unity(self, small_table):
+        text = figure(small_table, ["reduce"], title="Mini")
+        # the fattree column of every row is 1.000 by construction
+        rows = [l for l in text.splitlines()
+                if l.strip().startswith("(2")]
+        assert rows and all("1.000" in r for r in rows)
+
+
+class TestClaimsReport:
+    def test_runs_on_partial_tables(self, small_table):
+        text = claims_report(small_table, 5)
+        # only claims whose workloads are present are evaluated
+        assert "reduce" in text and "sweep3d" in text
+        assert "mapreduce" not in text
+        assert text.count("[") == text.count("]") >= 2

@@ -1,0 +1,76 @@
+"""Tests for the simulation result record (timeline metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import simulate
+from repro.engine.flows import FlowBuilder
+from repro.topology import TorusTopology
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+
+@pytest.fixture(scope="module")
+def line():
+    return TorusTopology((4,), wraparound=False)
+
+
+class TestStartTimes:
+    def test_roots_start_at_zero(self, line):
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, CAP)
+        b.add_flow(2, 3, CAP)
+        r = simulate(line, b.build())
+        assert np.allclose(r.start_times, 0.0)
+
+    def test_released_flows_start_at_predecessor_completion(self, line):
+        b = FlowBuilder(4)
+        first = b.add_flow(0, 1, CAP)
+        second = b.add_flow(1, 2, CAP, after=[first])
+        r = simulate(line, b.build())
+        assert r.start_times[second] == pytest.approx(
+            r.completion_times[first])
+
+    def test_durations(self, line):
+        b = FlowBuilder(4)
+        first = b.add_flow(0, 1, CAP)
+        b.add_flow(1, 2, CAP / 2, after=[first])
+        r = simulate(line, b.build())
+        assert r.flow_durations[0] == pytest.approx(1.0)
+        assert r.flow_durations[1] == pytest.approx(0.5)
+
+
+class TestConcurrencyProfile:
+    def test_sequential_chain_has_one_in_flight(self, line):
+        b = FlowBuilder(4)
+        prev = None
+        for i in range(5):
+            prev = b.add_flow(i % 3, i % 3 + 1, CAP / 10,
+                              after=[prev] if prev is not None else [])
+        r = simulate(line, b.build())
+        profile = r.concurrency_profile(50)
+        assert profile.max() == 1
+        assert profile.min() >= 1  # something always in flight
+
+    def test_parallel_burst(self, line):
+        b = FlowBuilder(4)
+        for i in range(8):
+            b.add_flow(0, 3, CAP / 10)
+        r = simulate(line, b.build())
+        assert r.concurrency_profile(20).max() == 8
+
+    def test_empty_run(self, line):
+        r = simulate(line, FlowBuilder(2).build())
+        assert (r.concurrency_profile(10) == 0).all()
+
+    def test_heavy_vs_light_signature(self, line):
+        """The profile separates the paper's heavy/light classification."""
+        from repro.topology import TorusTopology
+        from repro.workloads import Sweep3D, UnstructuredApp
+
+        topo = TorusTopology((4, 4, 4))
+        heavy = simulate(topo, UnstructuredApp(64, seed=0).build())
+        light = simulate(topo, Sweep3D(64).build())
+        assert heavy.concurrency_profile(50).max() > \
+            4 * light.concurrency_profile(50).max()

@@ -1,0 +1,152 @@
+"""Tests for the job scheduling substrate (allocation + co-scheduling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.flows import FlowBuilder
+from repro.errors import ConfigError
+from repro.scheduling import (Job, aligned_allocation, coschedule,
+                              contiguous_allocation, merge_flowsets,
+                              random_allocation)
+from repro.scheduling.allocator import by_name
+from repro.topology import FatTreeTopology, NestTree, TorusTopology
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    return NestTree(64, 2, 2)
+
+
+class TestAllocators:
+    def test_contiguous_blocks(self, hybrid):
+        allocs = contiguous_allocation(hybrid, [8, 16])
+        assert allocs[0].tolist() == list(range(8))
+        assert allocs[1].tolist() == list(range(8, 24))
+
+    def test_random_disjoint_and_seeded(self, hybrid):
+        a = random_allocation(hybrid, [10, 10], seed=4)
+        b = random_allocation(hybrid, [10, 10], seed=4)
+        assert not set(a[0]).intersection(a[1])
+        assert (a[0] == b[0]).all()
+
+    def test_aligned_whole_subtori(self, hybrid):
+        allocs = aligned_allocation(hybrid, [8, 12])
+        # job 0 gets subtorus 0; job 1 starts on a fresh subtorus boundary
+        assert allocs[0].tolist() == list(range(8))
+        assert allocs[1][0] == 8
+        assert allocs[1][0] % hybrid.plan.nodes == 0
+
+    def test_aligned_needs_hybrid(self):
+        with pytest.raises(ConfigError):
+            aligned_allocation(TorusTopology((4, 4)), [4])
+
+    def test_aligned_capacity_in_subtori(self, hybrid):
+        # 8 subtori of 8 nodes: 8 jobs of 1 node each consume all subtori
+        aligned_allocation(hybrid, [1] * 8)
+        with pytest.raises(ConfigError):
+            aligned_allocation(hybrid, [1] * 9)
+
+    def test_overcommit_rejected(self, hybrid):
+        with pytest.raises(ConfigError):
+            contiguous_allocation(hybrid, [60, 60])
+
+    def test_by_name(self, hybrid):
+        for policy in ("contiguous", "random", "aligned"):
+            allocs = by_name(policy, hybrid, [8, 8])
+            assert not set(allocs[0]).intersection(allocs[1])
+        with pytest.raises(ConfigError):
+            by_name("greedy", hybrid, [8])
+
+
+class TestMergeFlowsets:
+    def test_offsets(self):
+        b1 = FlowBuilder(2)
+        f = b1.add_flow(0, 1, 1.0)
+        b1.add_flow(1, 0, 2.0, after=[f])
+        b2 = FlowBuilder(3)
+        b2.add_flow(2, 0, 3.0)
+        merged, slices = merge_flowsets([b1.build(), b2.build()])
+        assert merged.num_tasks == 5
+        assert merged.num_flows == 3
+        assert merged.src.tolist() == [0, 1, 4]
+        assert merged.dst.tolist() == [1, 0, 2]
+        assert slices == [slice(0, 2), slice(2, 3)]
+
+    def test_dependencies_stay_within_jobs(self):
+        b1 = FlowBuilder(2)
+        f = b1.add_flow(0, 1, 1.0)
+        b1.add_flow(1, 0, 1.0, after=[f])
+        b2 = FlowBuilder(2)
+        g = b2.add_flow(0, 1, 1.0)
+        b2.add_flow(1, 0, 1.0, after=[g])
+        merged, _ = merge_flowsets([b1.build(), b2.build()])
+        assert merged.successors(0).tolist() == [1]
+        assert merged.successors(2).tolist() == [3]
+        assert merged.indegree.tolist() == [0, 1, 0, 1]
+        merged.topological_order()  # acyclic
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            merge_flowsets([])
+
+
+class TestCoschedule:
+    def test_validation(self, hybrid):
+        jobs = [Job("a", "reduce", 8)]
+        with pytest.raises(ConfigError):
+            coschedule(hybrid, jobs, [])  # missing allocation
+        with pytest.raises(ConfigError):
+            coschedule(hybrid, jobs, [np.arange(4)])  # wrong size
+        with pytest.raises(ConfigError):
+            coschedule(hybrid, jobs * 2,
+                       [np.arange(8), np.arange(8)])  # overlap
+
+    def test_disjoint_jobs_no_interference(self):
+        """Jobs on disjoint leaf switches of a fattree don't interact."""
+        topo = FatTreeTopology((4, 4))
+        jobs = [Job("a", "reduce", 4), Job("b", "reduce", 4)]
+        allocs = contiguous_allocation(topo, [4, 4])
+        result = coschedule(topo, jobs, allocs, fidelity="exact")
+        for j in result.jobs:
+            assert j.slowdown == pytest.approx(1.0)
+
+    def test_interference_detected(self):
+        """Two pair-wise-exchange jobs squeezing through sparse uplinks slow
+        each other down; NIC-bound traffic would mask the effect, so the
+        bisection workload (one flow per node per round) is the probe."""
+        hybrid = NestTree(64, 2, 8)  # sparse uplinks: shared chokepoints
+        jobs = [Job("a", "bisection", 32, seed=1, params={"rounds": 4}),
+                Job("b", "bisection", 32, seed=2, params={"rounds": 4})]
+        allocs = random_allocation(hybrid, [32, 32], seed=0)
+        result = coschedule(hybrid, jobs, allocs)
+        assert result.worst_slowdown() > 1.2
+        assert result.batch_makespan >= max(j.makespan for j in result.jobs) \
+            - 1e-12
+        assert "slowdowns" in result.summary()
+
+    def test_denser_uplinks_absorb_interference(self):
+        """The paper's density knob also buys multi-job isolation."""
+        jobs = [Job("a", "bisection", 32, seed=1, params={"rounds": 4}),
+                Job("b", "bisection", 32, seed=2, params={"rounds": 4})]
+        dense = NestTree(64, 2, 2)
+        sparse = NestTree(64, 2, 8)
+        r_dense = coschedule(dense, jobs,
+                             random_allocation(dense, [32, 32], seed=0))
+        r_sparse = coschedule(sparse, jobs,
+                              random_allocation(sparse, [32, 32], seed=0))
+        assert r_dense.mean_slowdown() < r_sparse.mean_slowdown()
+
+    def test_aligned_beats_random_on_hybrid(self, hybrid):
+        """The paper's lower tier isolates subtorus-aligned jobs: local
+        traffic never shares links, so interference drops."""
+        jobs = [Job(f"j{i}", "nearneighbors", 8,
+                    params={"dims": 3, "diagonals": False}, seed=i)
+                for i in range(4)]
+        aligned = coschedule(hybrid, jobs,
+                             aligned_allocation(hybrid, [8] * 4))
+        fragmented = coschedule(hybrid, jobs,
+                                random_allocation(hybrid, [8] * 4, seed=3))
+        assert aligned.mean_slowdown() <= fragmented.mean_slowdown()
+        assert aligned.mean_slowdown() == pytest.approx(1.0, abs=0.05)

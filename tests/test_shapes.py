@@ -1,0 +1,102 @@
+"""Tests for the qualitative shape checks, on synthetic result tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explorer import ResultTable, RunRecord
+from repro.core.shapes import evaluate_claims
+
+
+def make_table(values: dict[str, dict[str, float]]) -> ResultTable:
+    """values: workload -> topology label -> makespan."""
+    table = ResultTable(endpoints=64, fidelity="approx")
+    for wname, cells in values.items():
+        for label, makespan in cells.items():
+            family = label.split("(")[0]
+            t = u = None
+            if "(" in label:
+                t, u = (int(x) for x in label[label.index("(") + 1:-1].split(","))
+            table.add(RunRecord(workload=wname, topology=label, family=family,
+                                t=t, u=u, makespan=makespan, num_flows=1,
+                                events=1, reallocations=1, wall_seconds=0.0))
+    return table
+
+
+def full_labels(ghc: float, tree: float, fat: float, torus: float,
+                *, skew=None) -> dict[str, float]:
+    """A complete 26-cell series with uniform hybrid values (plus overrides)."""
+    cells = {"fattree": fat, "torus": torus}
+    for t in (2, 4, 8):
+        for u in (8, 4, 2, 1):
+            cells[f"nestghc({t},{u})"] = ghc
+            cells[f"nesttree({t},{u})"] = tree
+    if skew:
+        cells.update(skew)
+    return cells
+
+
+class TestIndividualChecks:
+    def test_reduce_flat_passes(self):
+        table = make_table({"reduce": full_labels(1.0, 1.0, 1.0, 1.0)})
+        [(claim, ok, detail)] = evaluate_claims(table, 5)
+        assert ok and "within" in detail
+
+    def test_reduce_nonflat_fails(self):
+        table = make_table({"reduce": full_labels(2.0, 1.0, 1.0, 1.0)})
+        [(_, ok, _)] = evaluate_claims(table, 5)
+        assert not ok
+
+    def test_bisection_tree_wins_passes(self):
+        table = make_table({"bisection": full_labels(2.0, 1.0, 1.0, 5.0)})
+        [(_, ok, _)] = evaluate_claims(table, 4)
+        assert ok
+
+    def test_bisection_ghc_wins_fails(self):
+        table = make_table({"bisection": full_labels(1.0, 2.0, 1.0, 5.0)})
+        [(_, ok, _)] = evaluate_claims(table, 4)
+        assert not ok
+
+    def test_unstructuredapp_needs_slow_torus(self):
+        ok_table = make_table(
+            {"unstructuredapp": full_labels(0.9, 0.95, 1.0, 4.0)})
+        bad_table = make_table(
+            {"unstructuredapp": full_labels(0.9, 0.95, 1.0, 1.0)})
+        assert evaluate_claims(ok_table, 4)[0][1]
+        assert not evaluate_claims(bad_table, 4)[0][1]
+
+    def test_inverted_trend_for_sweep(self):
+        skew = {}
+        for u in (8, 4, 2, 1):
+            skew[f"nestghc(8,{u})"] = 1.1
+            skew[f"nesttree(8,{u})"] = 1.1
+            skew[f"nestghc(2,{u})"] = 1.5
+            skew[f"nesttree(2,{u})"] = 1.5
+        table = make_table(
+            {"sweep3d": full_labels(1.3, 1.3, 1.0, 0.6, skew=skew)})
+        [(_, ok, detail)] = evaluate_claims(table, 5)
+        assert ok, detail
+
+    def test_nbodies_needs_degradation_with_size(self):
+        skew = {"nestghc(2,1)": 0.9, "nesttree(2,1)": 0.9,
+                "nestghc(8,8)": 3.0, "nesttree(8,8)": 3.0}
+        table = make_table(
+            {"nbodies": full_labels(1.2, 1.2, 1.0, 8.0, skew=skew)})
+        [(_, ok, _)] = evaluate_claims(table, 4)
+        assert ok
+
+
+class TestEvaluation:
+    def test_absent_workloads_skipped(self):
+        table = make_table({"reduce": full_labels(1.0, 1.0, 1.0, 1.0)})
+        claims = evaluate_claims(table, 4)
+        assert claims == []
+
+    def test_figures_partition_the_claims(self):
+        values = {}
+        for w in ("reduce", "sweep3d", "flood", "mapreduce",
+                  "unstructuredmgnt"):
+            values[w] = full_labels(1.0, 1.0, 1.0, 1.0)
+        table = make_table(values)
+        assert len(evaluate_claims(table, 5)) == 5
+        assert len(evaluate_claims(table, 4)) == 0

@@ -1,0 +1,90 @@
+"""Property-based tests of the end-to-end simulator.
+
+Random small workloads (random sizes, random forward-edge DAGs, random
+endpoints) on a small torus must always satisfy the engine's core
+invariants, in both fidelities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import analyze, simulate
+from repro.engine.flows import FlowBuilder, FlowSet
+from repro.topology import TorusTopology
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+TOPO = TorusTopology((4, 2))
+
+
+@st.composite
+def random_flowset(draw) -> FlowSet:
+    n = draw(st.integers(1, 25))
+    b = FlowBuilder(8)
+    for _ in range(n):
+        b.add_flow(draw(st.integers(0, 7)), draw(st.integers(0, 7)),
+                   CAP * draw(st.floats(0.001, 0.2)),
+                   weight=draw(st.sampled_from([1.0, 1.0, 2.0, 0.5])))
+    for _ in range(draw(st.integers(0, 30))):
+        if n < 2:
+            break
+        succ = draw(st.integers(1, n - 1))
+        pred = draw(st.integers(0, succ - 1))
+        b.add_dependency(pred, succ)
+    return b.build()
+
+
+class TestInvariants:
+    @given(random_flowset(), st.sampled_from(["exact", "approx"]))
+    @settings(max_examples=80, deadline=None)
+    def test_core_invariants(self, flows, fidelity):
+        result = simulate(TOPO, flows, fidelity=fidelity)
+        times = result.completion_times
+        starts = result.start_times
+
+        # every flow completes, after it starts
+        assert not np.isnan(times).any()
+        assert (times >= starts - 1e-12).all()
+        # makespan is the last completion
+        assert result.makespan == pytest.approx(times.max())
+        # dependencies are respected
+        for pred in range(flows.num_flows):
+            for succ in flows.successors(pred).tolist():
+                assert starts[succ] >= times[pred] - 1e-9
+        # no flow beats its own uncontended transfer time
+        lower = flows.size / CAP
+        assert ((times - starts) >= lower * (1 - 1e-9)).all()
+
+    @given(random_flowset())
+    @settings(max_examples=40, deadline=None)
+    def test_static_bound_lower_bounds_exact_makespan(self, flows):
+        static = analyze(TOPO, flows)
+        dynamic = simulate(TOPO, flows, fidelity="exact")
+        assert static.bottleneck_time <= dynamic.makespan * (1 + 1e-9)
+
+    @given(random_flowset())
+    @settings(max_examples=40, deadline=None)
+    def test_approx_tracks_exact(self, flows):
+        exact = simulate(TOPO, flows, fidelity="exact").makespan
+        approx = simulate(TOPO, flows, fidelity="approx").makespan
+        assert approx == pytest.approx(exact, rel=0.25)
+
+    @given(random_flowset())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, flows):
+        a = simulate(TOPO, flows, fidelity="exact")
+        b = simulate(TOPO, flows, fidelity="exact")
+        assert np.allclose(a.completion_times, b.completion_times)
+
+    @given(random_flowset(), st.floats(1.5, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_scaling(self, flows, factor):
+        """Scaling every capacity by f scales every completion by 1/f."""
+        fast = TorusTopology((4, 2), link_capacity=CAP * factor)
+        base = simulate(TOPO, flows, fidelity="exact")
+        scaled = simulate(fast, flows, fidelity="exact")
+        assert np.allclose(scaled.completion_times * factor,
+                           base.completion_times, rtol=1e-6)

@@ -1,0 +1,146 @@
+"""Tests for the torus/mesh topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError, TopologyError
+from repro.routing import dor
+from repro.topology import TorusTopology, path_length_stats
+
+
+def _route_is_walk(topo, src, dst):
+    """Assert a vertex path is a contiguous walk over registered links."""
+    p = topo.vertex_path(src, dst)
+    assert p[0] == src and p[-1] == dst
+    for a, b in zip(p, p[1:]):
+        assert topo.links.has(a, b)
+    return p
+
+
+class TestConstruction:
+    def test_counts(self, small_torus):
+        # 4x4x2: dims>2 contribute 2 directed links/node, dim 2 contributes 1
+        assert small_torus.num_endpoints == 32
+        assert small_torus.num_switches == 0
+        assert small_torus.num_network_links == 32 * (2 + 2 + 1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(TopologyError):
+            TorusTopology(())
+        with pytest.raises(TopologyError):
+            TorusTopology((4, 0))
+
+    def test_cubic_factory(self):
+        topo = TorusTopology.cubic(64)
+        assert topo.dims == (4, 4, 4)
+
+    def test_paper_full_scale_dims(self):
+        # no build at 131072 — just the planner
+        from repro.topology.planner import torus_dims
+        assert torus_dims(131072) == (32, 64, 64)
+
+    def test_connected(self, small_torus):
+        assert nx.is_connected(small_torus.to_networkx())
+
+    def test_regular_degree(self):
+        g = TorusTopology((4, 4, 4)).to_networkx()
+        assert all(d == 6 for _, d in g.degree())
+
+
+class TestRouting:
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=100)
+    def test_route_is_valid_walk(self, src, dst):
+        topo = TorusTopology((4, 4, 2))
+        p = _route_is_walk(topo, src, dst)
+        assert len(set(p)) == len(p)  # loop-free
+
+    def test_route_length_is_wrap_manhattan(self, small_torus):
+        for src, dst in [(0, 31), (5, 20), (0, 0), (3, 4)]:
+            expected = dor.distance(
+                dor.index_to_coord(src, small_torus.dims),
+                dor.index_to_coord(dst, small_torus.dims),
+                small_torus.dims)
+            assert small_torus.hops(src, dst) == expected
+
+    def test_routing_is_minimal(self, small_torus):
+        g = small_torus.to_networkx()
+        for src in range(0, 32, 5):
+            lengths = nx.single_source_shortest_path_length(g, src)
+            for dst in range(32):
+                assert small_torus.hops(src, dst) == lengths[dst]
+
+    def test_route_includes_nic_links(self, small_torus):
+        route = small_torus.route(0, 1)
+        assert route[0] == small_torus.injection_links[0]
+        assert route[-1] == small_torus.consumption_links[1]
+
+    def test_endpoint_range_checked(self, small_torus):
+        with pytest.raises(RoutingError):
+            small_torus.route(0, 32)
+
+
+class TestMetrics:
+    def test_diameter_small(self, small_torus):
+        brute = max(small_torus.hops(s, d)
+                    for s in range(32) for d in range(32))
+        assert small_torus.routing_diameter() == brute == 5
+
+    def test_diameter_full_scale_formula(self):
+        # paper: 32x64x64 torus has diameter 80
+        t = TorusTopology.__new__(TorusTopology)
+        t.dims = (32, 64, 64)
+        t.wraparound = True
+        assert TorusTopology.routing_diameter(t) == 80
+
+    def test_average_distance_closed_form_matches_enumeration(self):
+        topo = TorusTopology((3, 4))
+        stats = path_length_stats(topo, max_pairs=10_000)
+        assert stats.exact
+        assert stats.average == pytest.approx(
+            topo.average_distance_closed_form())
+
+    def test_average_distance_full_scale(self):
+        # paper: ~40 for the 131,072-endpoint torus
+        t = TorusTopology.__new__(TorusTopology)
+        t.dims = (32, 64, 64)
+        t.num_endpoints = 131072
+        assert TorusTopology.average_distance_closed_form(t) == \
+            pytest.approx(40.0, rel=1e-4)
+
+
+class TestMesh:
+    def test_no_wraparound_links(self):
+        mesh = TorusTopology((4, 4), wraparound=False)
+        assert not mesh.links.has(0, 3)   # x=0 -> x=3 only exists on a torus
+        assert mesh.name == "mesh"
+
+    def test_diameter(self):
+        mesh = TorusTopology((4, 4), wraparound=False)
+        assert mesh.routing_diameter() == 6
+        assert mesh.hops(0, 15) == 6
+
+    def test_routes_stay_in_bounds(self):
+        mesh = TorusTopology((3, 3), wraparound=False)
+        for s in range(9):
+            for d in range(9):
+                _route_is_walk(mesh, s, d)
+
+
+class TestNicLinks:
+    def test_one_pair_per_endpoint(self, small_torus):
+        assert len(small_torus.injection_links) == 32
+        assert len(small_torus.consumption_links) == 32
+        all_ids = np.concatenate([small_torus.injection_links,
+                                  small_torus.consumption_links])
+        assert len(np.unique(all_ids)) == 64
+
+    def test_self_route_uses_only_nic(self, small_torus):
+        route = small_torus.route(7, 7)
+        assert route == [small_torus.injection_links[7],
+                         small_torus.consumption_links[7]]

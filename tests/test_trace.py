@@ -1,0 +1,74 @@
+"""Tests for the timeline trace export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import simulate
+from repro.engine.flows import FlowBuilder
+from repro.engine.trace import CSV_HEADER, per_task_stats, timeline_rows, to_csv
+from repro.errors import SimulationError
+from repro.topology import TorusTopology
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+
+@pytest.fixture(scope="module")
+def run():
+    topo = TorusTopology((4,), wraparound=False)
+    b = FlowBuilder(4)
+    first = b.add_flow(0, 1, CAP)
+    b.add_flow(1, 2, CAP / 2, after=[first])
+    b.add_flow(3, 0, CAP / 4)
+    flows = b.build()
+    return simulate(topo, flows), flows
+
+
+class TestTimeline:
+    def test_rows_sorted_by_completion(self, run):
+        result, flows = run
+        rows = timeline_rows(result, flows)
+        ends = [r[5] for r in rows]
+        assert ends == sorted(ends)
+        assert len(rows) == flows.num_flows
+
+    def test_row_contents(self, run):
+        result, flows = run
+        rows = {r[0]: r for r in timeline_rows(result, flows)}
+        fid, src, dst, bits, start, end, duration, rate = rows[0]
+        assert (src, dst) == (0, 1)
+        assert bits == CAP
+        assert duration == pytest.approx(1.0)
+        assert rate == pytest.approx(CAP)
+
+    def test_csv_schema(self, run):
+        result, flows = run
+        text = to_csv(result, flows)
+        lines = text.strip().split("\n")
+        assert lines[0] == CSV_HEADER
+        assert len(lines) == 1 + flows.num_flows
+        assert all(len(l.split(",")) == 8 for l in lines[1:])
+
+    def test_mismatched_inputs_rejected(self, run):
+        result, _ = run
+        other = FlowBuilder(2)
+        other.add_flow(0, 1, 1.0)
+        with pytest.raises(SimulationError):
+            timeline_rows(result, other.build())
+
+
+class TestPerTaskStats:
+    def test_aggregates(self, run):
+        result, flows = run
+        stats = per_task_stats(result, flows)
+        assert set(stats) == {0, 1, 3}
+        assert stats[0]["flows"] == 1
+        assert stats[0]["bits"] == CAP
+        assert stats[1]["first_start"] == pytest.approx(1.0)  # released
+        assert stats[1]["busy_span"] == pytest.approx(0.5)
+
+    def test_busy_span_covers_chain(self, run):
+        result, flows = run
+        stats = per_task_stats(result, flows)
+        for entry in stats.values():
+            assert entry["busy_span"] >= 0
+            assert entry["last_end"] <= result.makespan + 1e-12

@@ -1,0 +1,36 @@
+"""Tests for the unit constants and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_byte_multiples(self):
+        assert units.KiB == 8 * 1024
+        assert units.MiB == 1024 * units.KiB
+        assert units.GiB == 1024 * units.MiB
+
+    def test_rates(self):
+        assert units.GBPS == 1e9
+        assert units.DEFAULT_LINK_CAPACITY == 10e9  # paper: 10 Gbps links
+
+    def test_decimal_bits(self):
+        assert units.MBIT == 1e6
+        assert units.GBIT == 1e9
+
+
+class TestHelpers:
+    def test_mib_roundtrip(self):
+        assert units.bits_to_mib(units.mib(3.5)) == pytest.approx(3.5)
+
+    def test_kib(self):
+        assert units.kib(2) == 2 * 1024 * 8
+
+    def test_one_mib_transfer_time(self):
+        # sanity: 1 MiB over 10 Gbps is ~0.84 ms — the scale of the paper's
+        # per-message times
+        t = units.mib(1) / units.DEFAULT_LINK_CAPACITY
+        assert 0.0008 < t < 0.0009
