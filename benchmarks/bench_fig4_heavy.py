@@ -18,9 +18,11 @@ HEAVY = ["unstructuredapp", "unstructuredhr", "bisection", "allreduce",
 
 @pytest.mark.benchmark(group="fig4")
 @pytest.mark.parametrize("workload", HEAVY)
-def test_fig4_workload(benchmark, workload, explorer, fig4_collector):
-    table = benchmark.pedantic(lambda: explorer.run([workload]),
-                               rounds=1, iterations=1)
+def test_fig4_workload(benchmark, workload, explorer, fig4_collector,
+                       sweep_jobs):
+    table = benchmark.pedantic(
+        lambda: explorer.run([workload], jobs=sweep_jobs),
+        rounds=1, iterations=1)
     fig4_collector.absorb(table)
 
     norm = table.normalised(workload)

@@ -15,9 +15,11 @@ LIGHT = ["unstructuredmgnt", "mapreduce", "reduce", "flood", "sweep3d"]
 
 @pytest.mark.benchmark(group="fig5")
 @pytest.mark.parametrize("workload", LIGHT)
-def test_fig5_workload(benchmark, workload, explorer, fig5_collector):
-    table = benchmark.pedantic(lambda: explorer.run([workload]),
-                               rounds=1, iterations=1)
+def test_fig5_workload(benchmark, workload, explorer, fig5_collector,
+                       sweep_jobs):
+    table = benchmark.pedantic(
+        lambda: explorer.run([workload], jobs=sweep_jobs),
+        rounds=1, iterations=1)
     fig5_collector.absorb(table)
 
     norm = table.normalised(workload)

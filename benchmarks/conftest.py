@@ -3,7 +3,9 @@
 Benchmarks default to a scaled-down system so ``pytest benchmarks/
 --benchmark-only`` completes in minutes; set ``REPRO_BENCH_ENDPOINTS`` (and
 optionally ``REPRO_BENCH_TASKS`` for the quadratic workloads) to raise the
-scale — the headline EXPERIMENTS.md run uses 4096.
+scale — the headline EXPERIMENTS.md run uses 4096.  ``REPRO_BENCH_JOBS``
+fans each figure sweep out over the parallel sweep runner (default 1:
+serial, which also lets every bench share one in-process topology cache).
 
 Each figure bench simulates one workload across the whole design space and
 deposits its records into a session-wide table; at session teardown the
@@ -23,7 +25,14 @@ from repro.core.explorer import ResultTable
 
 BENCH_ENDPOINTS = int(os.environ.get("REPRO_BENCH_ENDPOINTS", "512"))
 BENCH_TASKS = int(os.environ.get("REPRO_BENCH_TASKS", "128"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs() -> int:
+    """Worker count for the figure sweeps (REPRO_BENCH_JOBS)."""
+    return BENCH_JOBS
 
 
 def write_result(name: str, text: str) -> Path:

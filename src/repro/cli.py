@@ -4,8 +4,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
 
     repro table1 --endpoints 131072        # paper-scale static analysis
     repro table2 --endpoints 131072
-    repro fig4 --endpoints 4096 --out fig4.csv
-    repro fig5 --endpoints 4096
+    repro fig4 --endpoints 4096 --out fig4.csv --jobs 4 --checkpoint f4.jsonl
+    repro fig5 --endpoints 4096 --jobs 4 --checkpoint f5.jsonl --resume
     repro run --topology nesttree --t 2 --u 4 --workload allreduce
     repro info
 
@@ -41,6 +41,13 @@ def _add_sweep(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workloads", nargs="*", default=None,
                    help="subset of workloads to run")
     p.add_argument("--out", default=None, help="also write raw CSV here")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep (default 1: serial)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="append per-cell results to this JSONL file as the "
+                        "sweep runs")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already present in --checkpoint")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress logging")
 
@@ -80,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("info", help="library inventory")
 
     args = parser.parse_args(argv)
+    _validate(parser, args)
     if args.command == "table1":
         print(table1(args.endpoints, max_pairs=args.max_pairs, seed=args.seed))
     elif args.command == "table2":
@@ -93,6 +101,36 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _validate(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> None:
+    """Reject bad inputs up front (exit status 2, like argparse itself).
+
+    Without this, an unknown workload surfaces as a ``KeyError`` deep in
+    the registry and an untileable endpoint count as a topology-construction
+    traceback after minutes of sweep warm-up.
+    """
+    from repro.workloads import available
+
+    if getattr(args, "endpoints", 1) < 1:
+        parser.error(f"--endpoints must be positive, got {args.endpoints}")
+    if args.command in ("fig4", "fig5"):
+        if args.endpoints % 8:
+            parser.error(
+                f"--endpoints must be a multiple of 8 so the sweep's "
+                f"2x2x2 subtori tile the system, got {args.endpoints}")
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        if args.resume and not args.checkpoint:
+            parser.error("--resume requires --checkpoint PATH")
+        for name in args.workloads or ():
+            if name not in available():
+                parser.error(f"unknown workload {name!r}; "
+                             f"choose from: {', '.join(available())}")
+    if args.command == "run" and args.workload not in available():
+        parser.error(f"unknown workload {args.workload!r}; "
+                     f"choose from: {', '.join(available())}")
+
+
 def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
     from repro.workloads import heavy_workloads, light_workloads
 
@@ -101,7 +139,8 @@ def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
         args.endpoints, fidelity=args.fidelity,
         quadratic_tasks=args.quadratic_tasks, seed=args.seed,
         progress=not args.quiet)
-    table = explorer.run(names)
+    table = explorer.run(names, jobs=args.jobs,
+                         checkpoint=args.checkpoint, resume=args.resume)
     fig_no = 4 if heavy else 5
     print(figure(table, names,
                  title=f"Figure {fig_no} ({'heavy' if heavy else 'light'} "
@@ -140,7 +179,6 @@ def _run_single(args: argparse.Namespace) -> None:
 def _info() -> None:
     from repro import __version__
     from repro.topology import available as topo_available
-    from repro.workloads import available as wl_available
     from repro.workloads import heavy_workloads, light_workloads
 
     print(f"repro {__version__} — ICPP 2019 multi-tier interconnect "

@@ -11,7 +11,6 @@ them to each machine).
 from __future__ import annotations
 
 import sys
-import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -20,7 +19,6 @@ import numpy as np
 from repro.core.config import (DEFAULT_ENDPOINTS, DEFAULT_QUADRATIC_TASKS,
                                PAPER_CONFIGS, TopologySpec, WorkloadSpec,
                                baseline_specs, hybrid_specs)
-from repro.engine import simulate
 from repro.errors import ConfigError
 from repro.mapping import placement as placement_mod
 from repro.topology.base import Topology
@@ -155,41 +153,52 @@ class DesignSpaceExplorer:
         return placement_mod.by_name(policy, tasks, self.endpoints,
                                      seed=self.seed)
 
-    # ------------------------------------------------------------------- run
-    def run(self, workload_names: Iterable[str], *,
-            workload_params: dict[str, dict] | None = None) -> ResultTable:
-        """Simulate every workload on every topology of the design space."""
-        table = ResultTable(endpoints=self.endpoints, fidelity=self.fidelity)
-        if self.skipped_configs:
-            self._log(f"skipping design points that do not tile "
-                      f"{self.endpoints} endpoints: {self.skipped_configs}")
+    # ------------------------------------------------------------------ plan
+    def plan(self, workload_names: Iterable[str], *,
+             workload_params: dict[str, dict] | None = None):
+        """The sweep plan for these workloads (workload-major cell order)."""
+        from repro.sweep import SweepCell, SweepPlan
+
         params = workload_params or {}
+        cells = []
         for wname in workload_names:
             spec = self.workload_spec(wname)
             if wname in params:
                 spec = WorkloadSpec(spec.name, spec.tasks, params[wname])
-            flows = spec.build(self.endpoints, seed=self.seed).build()
-            tasks = spec.resolve_tasks(self.endpoints)
-            placement = self._placement(wname, tasks)
-            self._log(f"workload {wname}: {flows.num_flows} flows, "
-                      f"{tasks} tasks")
+            policy = PLACEMENT_POLICY.get(wname, "spread")
             for tspec in self.topology_specs():
-                topo = self.topology(tspec)
-                t0 = time.perf_counter()
-                result = simulate(topo, flows, placement=placement,
-                                  fidelity=self.fidelity)
-                wall = time.perf_counter() - t0
-                table.add(RunRecord(
-                    workload=wname, topology=tspec.label(),
-                    family=tspec.family,
-                    t=tspec.params.get("t"), u=tspec.params.get("u"),
-                    makespan=result.makespan, num_flows=result.num_flows,
-                    events=result.events,
-                    reallocations=result.reallocations,
-                    wall_seconds=wall))
-                self._log(f"  {tspec.label():>16}: "
-                          f"{result.makespan * 1e3:9.3f} ms "
-                          f"({wall:5.1f}s wall)")
+                cells.append(SweepCell(workload=spec, topology=tspec,
+                                       placement=policy))
+        return SweepPlan(endpoints=self.endpoints, fidelity=self.fidelity,
+                         seed=self.seed, cells=tuple(cells))
+
+    # ------------------------------------------------------------------- run
+    def run(self, workload_names: Iterable[str], *,
+            workload_params: dict[str, dict] | None = None,
+            jobs: int = 1,
+            checkpoint: str | None = None,
+            resume: bool = False) -> ResultTable:
+        """Simulate every workload on every topology of the design space.
+
+        ``jobs`` > 1 fans the sweep out over a process pool (one topology
+        group per worker at a time); ``checkpoint`` names a JSONL file that
+        receives each cell as it completes, and ``resume=True`` skips the
+        cells already recorded there.  Serial and parallel runs return
+        identical tables (wall-clock fields aside).
+        """
+        from repro.sweep import run_sweep
+
+        if self.skipped_configs:
+            self._log(f"skipping design points that do not tile "
+                      f"{self.endpoints} endpoints: {self.skipped_configs}")
+        plan = self.plan(workload_names, workload_params=workload_params)
+        records = run_sweep(
+            plan, jobs=jobs, checkpoint=checkpoint, resume=resume,
+            log=self._log if self.progress else None,
+            topology_provider=self.topology)
+        table = ResultTable(endpoints=self.endpoints, fidelity=self.fidelity)
+        for record in records:
+            table.add(record)
         return table
 
     def _log(self, msg: str) -> None:

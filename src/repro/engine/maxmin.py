@@ -148,7 +148,14 @@ def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
 def _slices_concat(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     """Concatenate index ranges [starts[i], stops[i]) into one index array."""
     lengths = stops - starts
+    nonzero = lengths > 0
+    if not nonzero.all():
+        # a zero-length range contributes nothing, but below it would share
+        # its cumsum offset with a neighbour and corrupt that range's start
+        starts, stops, lengths = starts[nonzero], stops[nonzero], lengths[nonzero]
     total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
     out = np.ones(total, dtype=np.int64)
     offsets = np.zeros(len(starts) + 1, dtype=np.int64)
     np.cumsum(lengths, out=offsets[1:])

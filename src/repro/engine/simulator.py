@@ -40,11 +40,16 @@ CHURN_FRACTION = 0.05
 
 _FIDELITIES = ("exact", "approx")
 
+#: Shared route for flows whose tasks are placed on the same endpoint.
+_EMPTY_ROUTE = np.empty(0, dtype=np.int64)
+
 
 def simulate(topology: Topology, flows: FlowSet, *,
              placement: np.ndarray | None = None,
              fidelity: str = "exact",
-             max_events: int = 50_000_000) -> SimulationResult:
+             max_events: int = 50_000_000,
+             route_cache: dict[tuple[int, int], np.ndarray] | None = None
+             ) -> SimulationResult:
     """Run a workload on a topology and return completion statistics.
 
     Parameters
@@ -55,11 +60,19 @@ def simulate(topology: Topology, flows: FlowSet, *,
         The workload's flow DAG (task-id space).
     placement:
         Optional task -> endpoint map.  Defaults to identity, which
-        requires ``flows.num_tasks <= topology.num_endpoints``.
+        requires ``flows.num_tasks <= topology.num_endpoints``.  Two tasks
+        may share an endpoint (oversubscribed placement); flows between
+        co-located tasks are *zero-hop* — they never enter the network and
+        complete the instant they are released.
     fidelity:
         ``"exact"`` or ``"approx"`` (see module docstring).
     max_events:
         Safety valve against runaway event loops.
+    route_cache:
+        Optional ``(src endpoint, dst endpoint) -> link-id array`` dict
+        shared between calls.  Routes only depend on the topology, so one
+        cache per topology amortises route computation when many workloads
+        replay on the same machine (the sweep runner does this).
     """
     if fidelity not in _FIDELITIES:
         raise SimulationError(f"fidelity must be one of {_FIDELITIES}")
@@ -81,30 +94,63 @@ def simulate(topology: Topology, flows: FlowSet, *,
 
     # per-flow routes; identical (src, dst) pairs share one array
     routes: list[np.ndarray | None] = [None] * n
-    route_cache: dict[tuple[int, int], np.ndarray] = {}
+    if route_cache is None:
+        route_cache = {}
     src_ep = placement[flows.src]
     dst_ep = placement[flows.dst]
 
     def route_of(fid: int) -> np.ndarray:
         key = (int(src_ep[fid]), int(dst_ep[fid]))
+        if key[0] == key[1]:
+            return _EMPTY_ROUTE  # co-located tasks: intra-endpoint transfer
         cached = route_cache.get(key)
         if cached is None:
             cached = np.asarray(topology.route(*key), dtype=np.int64)
             route_cache[key] = cached
         return cached
 
-    active: list[int] = flows.roots().tolist()
-    for fid in active:
-        routes[fid] = route_of(fid)
-        start[fid] = 0.0
-    if not active:
+    completed_count = 0
+
+    def inject(fid: int, t: float, rate: float,
+               out_ids: list[int], out_rates: list[float]) -> None:
+        """Mark a flow ready at ``t``; zero-hop flows complete instantly.
+
+        A flow whose route is empty (its tasks share an endpoint) never
+        reaches the allocator — an empty route has no bottleneck link, so
+        max-min allocation is undefined for it.  It completes at its
+        release time, which can cascade through chains of co-located
+        dependents; the cascade is iterative to keep deep chains safe.
+        """
+        nonlocal completed_count
+        stack = [(fid, rate)]
+        while stack:
+            f, r = stack.pop()
+            start[f] = t
+            route = route_of(f)
+            if route.shape[0]:
+                routes[f] = route
+                out_ids.append(f)
+                out_rates.append(r)
+                continue
+            completion[f] = t
+            remaining[f] = 0.0
+            completed_count += 1
+            for succ in flows.successors(f).tolist():
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    stack.append((succ, r))
+
+    roots = flows.roots().tolist()
+    if not roots:
         raise SimulationError("no injectable flows: dependency graph has no roots")
+    active: list[int] = []
+    for fid in roots:
+        inject(fid, 0.0, 0.0, active, [])
     rates = np.zeros(len(active), dtype=np.float64)  # aligned with `active`
 
     now = 0.0
     events = 0
     reallocations = 0
-    completed_count = 0
     churn = len(active)   # everything new -> allocate on first iteration
     alloc_size = 0
 
@@ -142,10 +188,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
             for succ in flows.successors(fid).tolist():
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
-                    routes[succ] = route_of(succ)
-                    start[succ] = now
-                    released.append(succ)
-                    released_rates.append(rate)  # inherited (approx mode)
+                    # rate is inherited by the release (approx mode)
+                    inject(succ, now, rate, released, released_rates)
         completed_count += int(done_mask.sum())
         events += 1
         if events > max_events:

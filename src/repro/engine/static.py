@@ -33,8 +33,10 @@ def analyze(topology: Topology, flows: FlowSet, *,
     dst_ep = placement[flows.dst]
     sizes = flows.size
     for i in range(flows.num_flows):
-        route = topology.route(int(src_ep[i]), int(dst_ep[i]))
-        loads[route] += sizes[i]
+        s, d = int(src_ep[i]), int(dst_ep[i])
+        if s == d:
+            continue  # zero-hop: co-located tasks load no link
+        loads[topology.route(s, d)] += sizes[i]
 
     bottleneck = float(np.max(loads / capacities)) if loads.size else 0.0
     return LinkLoadReport(

@@ -9,6 +9,7 @@ tools; the CSV schema is stable and covered by tests.
 from __future__ import annotations
 
 import io
+import math
 
 import numpy as np
 
@@ -21,7 +22,12 @@ CSV_HEADER = "flow,src_task,dst_task,bits,start_s,end_s,duration_s,rate_bps"
 
 def timeline_rows(result: SimulationResult, flows: FlowSet
                   ) -> list[tuple[int, int, int, float, float, float, float, float]]:
-    """Structured per-flow records, ordered by completion time."""
+    """Structured per-flow records, ordered by completion time.
+
+    Zero-duration flows (e.g. zero-hop transfers between co-located tasks)
+    have no meaningful rate; their ``rate`` field is NaN so downstream
+    statistics can skip it, and :func:`to_csv` renders it as an empty field.
+    """
     if result.num_flows != flows.num_flows:
         raise SimulationError(
             "result and flow set disagree on the number of flows")
@@ -32,7 +38,7 @@ def timeline_rows(result: SimulationResult, flows: FlowSet
         end = float(result.completion_times[fid])
         duration = end - start
         bits = float(flows.size[fid])
-        rate = bits / duration if duration > 0 else float("inf")
+        rate = bits / duration if duration > 0 else float("nan")
         rows.append((fid, int(flows.src[fid]), int(flows.dst[fid]),
                      bits, start, end, duration, rate))
     return rows
@@ -44,8 +50,9 @@ def to_csv(result: SimulationResult, flows: FlowSet) -> str:
     out.write(CSV_HEADER + "\n")
     for fid, src, dst, bits, start, end, duration, rate in \
             timeline_rows(result, flows):
+        rate_field = "" if math.isnan(rate) else repr(rate)
         out.write(f"{fid},{src},{dst},{bits!r},{start!r},{end!r},"
-                  f"{duration!r},{rate!r}\n")
+                  f"{duration!r},{rate_field}\n")
     return out.getvalue()
 
 

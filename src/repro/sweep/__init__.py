@@ -1,0 +1,16 @@
+"""Parallel, resumable design-space sweep execution.
+
+:class:`~repro.sweep.plan.SweepPlan` declares the cells of a sweep,
+:func:`~repro.sweep.runner.run_sweep` executes them (in-process or across a
+process pool, with per-worker topology and route-cache reuse), and
+:class:`~repro.sweep.checkpoint.SweepCheckpoint` persists completed cells
+to an append-only JSONL file so interrupted sweeps resume instead of
+restarting.  The explorer and the ``fig4``/``fig5`` CLI paths run on top of
+this package.
+"""
+
+from repro.sweep.checkpoint import SweepCheckpoint
+from repro.sweep.plan import SweepCell, SweepPlan
+from repro.sweep.runner import run_sweep
+
+__all__ = ["SweepCell", "SweepCheckpoint", "SweepPlan", "run_sweep"]

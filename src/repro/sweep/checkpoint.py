@@ -1,0 +1,98 @@
+"""Append-only JSONL checkpoint store for sweep results.
+
+File format (one JSON document per line):
+
+* line 1 — header: ``{"magic": "repro-sweep-v1", "meta": {...}}`` where
+  ``meta`` is the owning plan's fingerprint (endpoints, fidelity, seed);
+* every other line — one completed cell:
+  ``{"key": "<workload>@<tasks>|<topology>", "workload": ..., "topology":
+  ..., "family": ..., "t": ..., "u": ..., "makespan": ..., "num_flows":
+  ..., "events": ..., "reallocations": ..., "wall_seconds": ...}``.
+
+Records are appended and flushed as each cell completes, so a killed sweep
+loses at most the cells that were in flight.  A torn final line (the
+process died mid-write) is skipped on load rather than failing the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+MAGIC = "repro-sweep-v1"
+
+
+class SweepCheckpoint:
+    """One checkpoint file bound to one plan fingerprint."""
+
+    def __init__(self, path: str | os.PathLike, meta: dict) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta)
+
+    # ------------------------------------------------------------------ read
+    def load(self) -> dict[str, dict]:
+        """Completed records by cell key; ``{}`` when the file is absent.
+
+        Raises :class:`ConfigError` when the header belongs to a different
+        plan (resuming a 512-endpoint checkpoint into a 2048-endpoint sweep
+        would silently mix scales).
+        """
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        header = self._decode(lines[0])
+        if (header is None or header.get("magic") != MAGIC
+                or "meta" not in header):
+            raise ConfigError(
+                f"{self.path} is not a sweep checkpoint (bad header)")
+        if header["meta"] != self.meta:
+            raise ConfigError(
+                f"checkpoint {self.path} was written by a different sweep: "
+                f"{header['meta']} != {self.meta}")
+        records: dict[str, dict] = {}
+        for line in lines[1:]:
+            record = self._decode(line)
+            if record is None or "key" not in record:
+                continue  # torn write from an interrupted run
+            records[record["key"]] = record
+        return records
+
+    # ----------------------------------------------------------------- write
+    def start(self, *, resume: bool) -> dict[str, dict]:
+        """Open the checkpoint for a run and return the completed records.
+
+        ``resume=False`` starts fresh (any existing file is replaced);
+        ``resume=True`` loads and keeps existing records.
+        """
+        if resume:
+            done = self.load()
+            if not self.path.exists():
+                self._write_header()
+            return done
+        self._write_header()
+        return {}
+
+    def append(self, record: dict) -> None:
+        """Append one completed cell and flush it to disk."""
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w") as fh:
+            fh.write(json.dumps({"magic": MAGIC, "meta": self.meta}) + "\n")
+
+    @staticmethod
+    def _decode(line: str) -> dict | None:
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return doc if isinstance(doc, dict) else None

@@ -1,0 +1,58 @@
+"""Sweep plans: the declarative unit of a design-space run.
+
+A :class:`SweepPlan` is the full cross product of one sweep — every
+``(workload, topology)`` cell plus the global knobs (endpoints, fidelity,
+seed) that make each cell reproducible in isolation.  Cells are addressed
+by a stable string key, which is what the checkpoint store records and the
+resume path matches against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TopologySpec, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One ``(workload, topology)`` simulation of a sweep.
+
+    ``placement`` names the task->endpoint policy applied when the workload
+    runs fewer tasks than there are endpoints (the identity placement is
+    used when the counts match).
+    """
+
+    workload: WorkloadSpec
+    topology: TopologySpec
+    placement: str = "spread"
+
+    def key(self) -> str:
+        """Stable checkpoint key.
+
+        Includes the task count because the same workload name can run at
+        different caps (``--quadratic-tasks``); a checkpoint written at one
+        cap must not satisfy a sweep at another.  Extra workload params are
+        not fingerprinted — use a fresh checkpoint when overriding them.
+        """
+        tasks = "all" if self.workload.tasks is None else self.workload.tasks
+        return f"{self.workload.name}@{tasks}|{self.topology.label()}"
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Every cell of a sweep plus the globals each cell needs to run."""
+
+    endpoints: int
+    fidelity: str
+    seed: int
+    cells: tuple[SweepCell, ...]
+
+    def meta(self) -> dict:
+        """Fingerprint checked against a checkpoint before resuming."""
+        return {"endpoints": self.endpoints, "fidelity": self.fidelity,
+                "seed": self.seed}
+
+    def pending(self, done: set[str] | dict) -> list[SweepCell]:
+        """Cells whose keys are not in ``done``, in plan order."""
+        return [c for c in self.cells if c.key() not in done]

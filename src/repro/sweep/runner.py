@@ -1,0 +1,298 @@
+"""Parallel, resumable sweep executor.
+
+Executes every cell of a :class:`~repro.sweep.plan.SweepPlan`, either
+in-process (``jobs=1``, preserving the serial explorer's exact behaviour
+and log output) or across a pool of worker processes.
+
+Parallel decomposition
+----------------------
+Topology construction and route computation dominate a sweep's warm-up
+cost, so cells are grouped *by topology* and whole groups are assigned to
+workers (greedy balance on cell counts).  Each worker builds each of its
+topologies exactly once and keeps one route cache per topology, shared by
+every workload it replays on that machine — the same warm-start the serial
+explorer gets from its in-process caches.
+
+Results stream back to the parent one cell at a time over a queue; the
+parent appends each to the (optional) JSONL checkpoint the moment it
+arrives, so a killed sweep loses only in-flight cells and ``resume=True``
+re-runs only what is missing.  Simulation is deterministic, so serial and
+parallel runs produce identical records (wall-clock fields aside).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+import traceback
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.explorer import RunRecord
+from repro.engine import simulate
+from repro.errors import SimulationError
+from repro.mapping import placement as placement_mod
+from repro.sweep.checkpoint import SweepCheckpoint
+from repro.sweep.plan import SweepCell, SweepPlan
+from repro.topology.base import Topology
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 1.0
+
+#: Type of the per-worker workload cache: (name, tasks) -> prepared inputs.
+_FlowsCache = dict[tuple[str, int | None], tuple]
+
+
+def run_sweep(plan: SweepPlan, *,
+              jobs: int = 1,
+              checkpoint: str | os.PathLike | None = None,
+              resume: bool = False,
+              log: Callable[[str], None] | None = None,
+              topology_provider: Callable[..., Topology] | None = None,
+              ) -> list[RunRecord]:
+    """Execute a sweep plan and return its records in plan order.
+
+    Parameters
+    ----------
+    plan:
+        The cells to run plus the sweep globals.
+    jobs:
+        Worker process count.  ``1`` runs in-process (no multiprocessing);
+        higher values partition topology groups across workers.
+    checkpoint:
+        Optional JSONL checkpoint path.  Completed cells are appended as
+        they finish; with ``resume=True`` cells already in the file are
+        not recomputed (their stored records are returned instead).
+        Without ``resume`` an existing file is replaced.
+    resume:
+        Skip cells present in ``checkpoint``.  Requires ``checkpoint``.
+    log:
+        Progress sink (one message per call); ``None`` silences progress.
+    topology_provider:
+        Serial mode only: ``(TopologySpec) -> Topology`` used to build (or
+        fetch from a cache) each topology.  The explorer passes its caching
+        builder so repeated ``run`` calls share constructed topologies.
+        Worker processes always build their own.
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    if resume and checkpoint is None:
+        raise SimulationError("resume requires a checkpoint path")
+
+    store = None
+    done: dict[str, dict] = {}
+    if checkpoint is not None:
+        store = SweepCheckpoint(checkpoint, plan.meta())
+        done = store.start(resume=resume)
+    pending = plan.pending(done)
+    if store is not None and log is not None:
+        log(f"checkpoint {store.path}: {len(plan.cells) - len(pending)} of "
+            f"{len(plan.cells)} cells already complete")
+
+    if jobs == 1:
+        records = _run_serial(plan, pending, store, log, topology_provider)
+    else:
+        records = _run_parallel(plan, pending, store, log, jobs)
+
+    by_key = dict(done)
+    by_key.update(records)
+    missing = [c.key() for c in plan.cells if c.key() not in by_key]
+    if missing:
+        raise SimulationError(f"sweep finished with missing cells: {missing}")
+    return [_to_record(by_key[c.key()]) for c in plan.cells]
+
+
+# ---------------------------------------------------------------- cell work
+def _prepare_workload(plan: SweepPlan, cell: SweepCell,
+                      flows_cache: _FlowsCache) -> tuple:
+    """Build (once per workload) the flow set and placement for a cell."""
+    wspec = cell.workload
+    key = (wspec.name, wspec.tasks)
+    if key not in flows_cache:
+        flows = wspec.build(plan.endpoints, seed=plan.seed).build()
+        tasks = wspec.resolve_tasks(plan.endpoints)
+        if tasks == plan.endpoints:
+            placement = None  # identity
+        else:
+            placement = placement_mod.by_name(cell.placement, tasks,
+                                              plan.endpoints, seed=plan.seed)
+        flows_cache[key] = (flows, placement, tasks)
+    return flows_cache[key]
+
+
+def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
+              flows_cache: _FlowsCache,
+              route_cache: dict[tuple[int, int], np.ndarray]) -> dict:
+    """Simulate one cell and return its checkpointable record."""
+    flows, placement, _ = _prepare_workload(plan, cell, flows_cache)
+    t0 = time.perf_counter()
+    result = simulate(topology, flows, placement=placement,
+                      fidelity=plan.fidelity, route_cache=route_cache)
+    wall = time.perf_counter() - t0
+    return {
+        "key": cell.key(),
+        "workload": cell.workload.name,
+        "topology": cell.topology.label(),
+        "family": cell.topology.family,
+        "t": cell.topology.params.get("t"),
+        "u": cell.topology.params.get("u"),
+        "makespan": result.makespan,
+        "num_flows": result.num_flows,
+        "events": result.events,
+        "reallocations": result.reallocations,
+        "wall_seconds": wall,
+    }
+
+
+def _to_record(doc: dict) -> RunRecord:
+    return RunRecord(
+        workload=doc["workload"], topology=doc["topology"],
+        family=doc["family"], t=doc["t"], u=doc["u"],
+        makespan=doc["makespan"], num_flows=doc["num_flows"],
+        events=doc["events"], reallocations=doc["reallocations"],
+        wall_seconds=doc["wall_seconds"])
+
+
+def _cell_log_line(doc: dict) -> str:
+    return (f"  {doc['topology']:>16}: {doc['makespan'] * 1e3:9.3f} ms "
+            f"({doc['wall_seconds']:5.1f}s wall)")
+
+
+# -------------------------------------------------------------- serial path
+def _run_serial(plan: SweepPlan, pending: list[SweepCell],
+                store: SweepCheckpoint | None,
+                log: Callable[[str], None] | None,
+                topology_provider: Callable[..., Topology] | None,
+                ) -> dict[str, dict]:
+    if topology_provider is None:
+        topologies: dict[str, Topology] = {}
+
+        def topology_provider(tspec):
+            label = tspec.label()
+            if label not in topologies:
+                if log is not None:
+                    log(f"building {label} @ {plan.endpoints} endpoints")
+                topologies[label] = tspec.build(plan.endpoints)
+            return topologies[label]
+
+    flows_cache: _FlowsCache = {}
+    route_caches: dict[str, dict] = {}
+    records: dict[str, dict] = {}
+    current_workload: tuple[str, int | None] | None = None
+    for cell in pending:
+        wkey = (cell.workload.name, cell.workload.tasks)
+        if wkey != current_workload:
+            flows, _, tasks = _prepare_workload(plan, cell, flows_cache)
+            if log is not None:
+                log(f"workload {cell.workload.name}: {flows.num_flows} "
+                    f"flows, {tasks} tasks")
+            current_workload = wkey
+        topo = topology_provider(cell.topology)
+        doc = _run_cell(plan, cell, topo, flows_cache,
+                        route_caches.setdefault(cell.topology.label(), {}))
+        records[doc["key"]] = doc
+        if store is not None:
+            store.append(doc)
+        if log is not None:
+            log(_cell_log_line(doc))
+    return records
+
+
+# ------------------------------------------------------------ parallel path
+def _partition(pending: list[SweepCell], jobs: int
+               ) -> list[list[tuple[SweepCell, list[SweepCell]]]]:
+    """Group cells by topology and balance whole groups across workers.
+
+    Returns one list of ``(representative cell, group cells)`` pairs per
+    worker.  Greedy longest-group-first assignment to the least-loaded
+    worker keeps cell counts even without splitting a topology (splitting
+    would forfeit the per-worker topology/route-cache reuse).
+    """
+    groups: dict[str, list[SweepCell]] = {}
+    for cell in pending:
+        groups.setdefault(cell.topology.label(), []).append(cell)
+    ordered = sorted(groups.values(), key=len, reverse=True)
+    n = min(jobs, len(ordered)) or 1
+    buckets: list[list[tuple[SweepCell, list[SweepCell]]]] = [[] for _ in range(n)]
+    sizes = [0] * n
+    for group in ordered:
+        i = sizes.index(min(sizes))
+        buckets[i].append((group[0], group))
+        sizes[i] += len(group)
+    return buckets
+
+
+def _sweep_worker(plan: SweepPlan,
+                  assignment: list[tuple[SweepCell, list[SweepCell]]],
+                  out: mp.Queue, worker_id: int) -> None:
+    """Worker loop: build each assigned topology once, run its cells."""
+    try:
+        flows_cache: _FlowsCache = {}
+        for rep, cells in assignment:
+            topology = rep.topology.build(plan.endpoints)
+            route_cache: dict[tuple[int, int], np.ndarray] = {}
+            for cell in cells:
+                out.put(("ok", _run_cell(plan, cell, topology,
+                                         flows_cache, route_cache)))
+    except Exception:
+        out.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        out.put(("exit", worker_id))
+
+
+def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
+                  store: SweepCheckpoint | None,
+                  log: Callable[[str], None] | None,
+                  jobs: int) -> dict[str, dict]:
+    if not pending:
+        return {}
+    buckets = _partition(pending, jobs)
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    out: mp.Queue = ctx.Queue()
+    workers = [ctx.Process(target=_sweep_worker, args=(plan, bucket, out, i),
+                           daemon=True)
+               for i, bucket in enumerate(buckets)]
+    if log is not None:
+        log(f"running {len(pending)} cells across {len(workers)} workers")
+    for w in workers:
+        w.start()
+
+    records: dict[str, dict] = {}
+    failure: str | None = None
+    exited = 0
+    try:
+        while exited < len(workers):
+            try:
+                msg = out.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                dead = [i for i, w in enumerate(workers)
+                        if not w.is_alive() and w.exitcode not in (0, None)]
+                if dead:
+                    raise SimulationError(
+                        f"sweep worker(s) {dead} died "
+                        f"(exit codes {[workers[i].exitcode for i in dead]})")
+                continue
+            if msg[0] == "ok":
+                doc = msg[1]
+                records[doc["key"]] = doc
+                if store is not None:
+                    store.append(doc)
+                if log is not None:
+                    log(f"[{doc['workload']}]" + _cell_log_line(doc))
+            elif msg[0] == "error":
+                failure = msg[2]
+            else:  # "exit"
+                exited += 1
+    finally:
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        for w in workers:
+            w.join()
+    if failure is not None:
+        raise SimulationError(f"sweep worker failed:\n{failure}")
+    return records

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import RoutingError
 from repro.topology import TorusTopology
-from repro.units import DEFAULT_LINK_CAPACITY as CAP
 
 
 class TestContract:

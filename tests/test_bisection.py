@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import networkx as nx
 import pytest
 
 from repro.errors import TopologyError

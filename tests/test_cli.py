@@ -79,3 +79,61 @@ class TestComparatorFamilies:
         assert main(["run", "--endpoints", "64", "--topology", "thintree",
                      "--workload", "reduce"]) == 0
         assert "thintree" in capsys.readouterr().out
+
+
+class TestInputValidation:
+    """Bad inputs exit with status 2 and name the valid choices."""
+
+    def _error(self, capsys, argv) -> str:
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        return capsys.readouterr().err
+
+    def test_unknown_sweep_workload(self, capsys):
+        err = self._error(capsys, ["fig4", "--endpoints", "64",
+                                   "--workloads", "nope"])
+        assert "unknown workload 'nope'" in err
+        assert "allreduce" in err and "sweep3d" in err  # choices listed
+
+    def test_unknown_run_workload(self, capsys):
+        err = self._error(capsys, ["run", "--endpoints", "64",
+                                   "--topology", "fattree",
+                                   "--workload", "zzz"])
+        assert "unknown workload 'zzz'" in err and "reduce" in err
+
+    def test_untileable_endpoints(self, capsys):
+        err = self._error(capsys, ["fig4", "--endpoints", "100"])
+        assert "multiple of 8" in err
+
+    def test_negative_endpoints(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "-8"])
+        assert "positive" in err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "64", "--resume"])
+        assert "--checkpoint" in err
+
+    def test_bad_jobs(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "64",
+                                   "--jobs", "0"])
+        assert "--jobs" in err
+
+
+class TestSweepFlags:
+    def test_fig5_with_jobs_and_checkpoint(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
+                     "--quiet", "--jobs", "2",
+                     "--checkpoint", str(ck)]) == 0
+        assert "== reduce ==" in capsys.readouterr().out
+        assert ck.read_text().startswith('{"magic"')
+
+    def test_fig5_resume_from_checkpoint(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
+                     "--quiet", "--checkpoint", str(ck)]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
+                     "--quiet", "--checkpoint", str(ck), "--resume"]) == 0
+        assert capsys.readouterr().out == first  # fully replayed from disk

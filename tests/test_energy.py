@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import analyze, simulate
+from repro.engine import analyze
 from repro.engine.flows import FlowBuilder
 from repro.errors import ConfigError
 from repro.topology import NestTree, TorusTopology

@@ -158,3 +158,42 @@ class TestBottleneckBound:
                                       np.zeros(1, dtype=np.int64),
                                       np.array([1.0]),
                                       np.empty(0)) == 0.0
+
+
+class TestSlicesConcat:
+    """Zero-length ranges (empty routes) must not corrupt the cumsum trick."""
+
+    @staticmethod
+    def _naive(starts, stops):
+        if len(starts) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([np.arange(a, b, dtype=np.int64)
+                               for a, b in zip(starts, stops)])
+
+    @pytest.mark.parametrize("starts,stops", [
+        ([0, 3, 3], [3, 3, 6]),    # zero-length range in the middle
+        ([2, 5], [4, 5]),          # zero-length range at the end
+        ([5, 0], [5, 2]),          # zero-length range at the start
+        ([4], [4]),                # single empty range
+        ([2, 2, 2], [2, 2, 2]),    # all ranges empty
+        ([], []),                  # no ranges at all
+        ([1, 6, 9], [4, 8, 12]),   # no empties (fast path unchanged)
+    ])
+    def test_matches_naive_concatenation(self, starts, stops):
+        from repro.engine.maxmin import _slices_concat
+
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        got = _slices_concat(starts, stops)
+        assert np.array_equal(got, self._naive(starts, stops))
+
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 10)),
+                    max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, ranges):
+        from repro.engine.maxmin import _slices_concat
+
+        starts = np.asarray([a for a, _ in ranges], dtype=np.int64)
+        stops = starts + np.asarray([n for _, n in ranges], dtype=np.int64)
+        got = _slices_concat(starts, stops)
+        assert np.array_equal(got, self._naive(starts, stops))

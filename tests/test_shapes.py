@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.explorer import ResultTable, RunRecord
 from repro.core.shapes import evaluate_claims
 

@@ -31,10 +31,14 @@ class TestSingleFlows:
         b.add_flow(0, 3, CAP)
         assert simulate(line, b.build()).makespan == pytest.approx(1.0)
 
-    def test_self_flow_through_nic(self, line):
+    def test_self_flow_is_zero_hop(self, line):
+        # co-located tasks exchange data without touching the network (or
+        # the NIC): the flow completes the instant it is released
         b = FlowBuilder(4)
         b.add_flow(2, 2, CAP / 2)
-        assert simulate(line, b.build()).makespan == pytest.approx(0.5)
+        r = simulate(line, b.build())
+        assert r.makespan == 0.0
+        assert r.completion_times[0] == r.start_times[0] == 0.0
 
 
 class TestSharing:
@@ -188,3 +192,63 @@ class TestEdgeCases:
         assert r.total_bits == CAP
         assert r.aggregate_throughput == pytest.approx(CAP)
         assert "makespan" in r.summary()
+
+
+class TestZeroHopPlacements:
+    """Oversubscribed placements: several tasks sharing one endpoint."""
+
+    def test_duplicate_endpoint_placement_end_to_end(self, line):
+        # both tasks of flow 0 land on endpoint 0 -> zero-hop, instant;
+        # the downstream real flow is released at time zero
+        b = FlowBuilder(3)
+        z = b.add_flow(0, 1, CAP)
+        b.add_flow(1, 2, CAP, after=[z])
+        r = simulate(line, b.build(), placement=np.array([0, 0, 3]))
+        assert r.completion_times[0] == r.start_times[0] == 0.0
+        assert r.start_times[1] == 0.0
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_zero_hop_completes_at_release_time(self, line):
+        # a zero-hop flow released mid-run completes exactly then
+        b = FlowBuilder(4)
+        first = b.add_flow(0, 1, CAP)          # finishes at t=1
+        b.add_flow(2, 3, CAP, after=[first])   # co-located -> instant
+        r = simulate(line, b.build(), placement=np.array([0, 1, 2, 2]))
+        assert r.start_times[1] == pytest.approx(1.0)
+        assert r.completion_times[1] == pytest.approx(1.0)
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_zero_hop_chain_cascades(self, line):
+        # a whole chain of co-located flows collapses at its release time
+        b = FlowBuilder(4)
+        prev = b.add_flow(0, 1, CAP)
+        for _ in range(5):
+            prev = b.add_flow(1, 1, CAP, after=[prev])
+        r = simulate(line, b.build(), placement=np.array([1, 1, 2, 3]))
+        assert r.makespan == 0.0
+        assert (r.completion_times == 0.0).all()
+
+    @pytest.mark.parametrize("fidelity", ["exact", "approx"])
+    def test_oversubscribed_collective(self, fidelity):
+        # the ISSUE's headline scenario: a collective placed with more
+        # tasks than endpoints used to crash the allocator
+        from repro.topology import build as build_topology
+        from repro.workloads import build as build_workload
+
+        topo = build_topology("fattree", 8)
+        wl = build_workload("allreduce", 16)
+        placement = np.arange(16, dtype=np.int64) % 8  # two tasks/endpoint
+        r = simulate(topo, wl.build(), placement=placement,
+                     fidelity=fidelity)
+        assert r.makespan > 0
+        assert not np.isnan(r.completion_times).any()
+
+    def test_route_cache_shared_across_calls(self, line):
+        # an externally supplied route cache is filled and reused
+        b = FlowBuilder(4)
+        b.add_flow(0, 3, CAP)
+        cache: dict = {}
+        first = simulate(line, b.build(), route_cache=cache)
+        assert (0, 3) in cache
+        again = simulate(line, b.build(), route_cache=cache)
+        assert again.makespan == first.makespan

@@ -54,9 +54,14 @@ class TestInvariants:
         for pred in range(flows.num_flows):
             for succ in flows.successors(pred).tolist():
                 assert starts[succ] >= times[pred] - 1e-9
-        # no flow beats its own uncontended transfer time
+        # no networked flow beats its own uncontended transfer time;
+        # zero-hop flows (src task == dst task here, so co-located under
+        # the identity placement) complete instantly by design
         lower = flows.size / CAP
-        assert ((times - starts) >= lower * (1 - 1e-9)).all()
+        networked = flows.src != flows.dst
+        assert ((times - starts)[networked]
+                >= lower[networked] * (1 - 1e-9)).all()
+        assert (times[~networked] == starts[~networked]).all()
 
     @given(random_flowset())
     @settings(max_examples=40, deadline=None)

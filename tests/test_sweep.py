@@ -1,0 +1,162 @@
+"""Tests for the parallel, resumable sweep runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import DesignSpaceExplorer
+from repro.errors import ConfigError, SimulationError
+from repro.sweep import SweepCheckpoint, run_sweep
+from repro.sweep.runner import _partition
+
+ENDPOINTS = 64
+WORKLOADS = ["reduce", "allreduce"]
+
+
+def make_explorer(**kwargs) -> DesignSpaceExplorer:
+    return DesignSpaceExplorer(ENDPOINTS, quadratic_tasks=16, seed=0,
+                               **kwargs)
+
+
+def table_fingerprint(table):
+    """Everything except wall-clock, which legitimately varies."""
+    return [(r.workload, r.topology, r.family, r.t, r.u, r.makespan,
+             r.num_flows, r.events, r.reallocations)
+            for r in table.records]
+
+
+@pytest.fixture(scope="module")
+def serial_table():
+    return make_explorer().run(WORKLOADS)
+
+
+class TestParallelMatchesSerial:
+    def test_jobs4_identical_records(self, serial_table):
+        parallel = make_explorer().run(WORKLOADS, jobs=4)
+        assert table_fingerprint(parallel) == table_fingerprint(serial_table)
+
+    def test_more_jobs_than_topologies(self, serial_table):
+        # workers beyond the topology-group count must not break anything
+        parallel = make_explorer().run(["reduce"], jobs=64)
+        serial = [f for f in table_fingerprint(serial_table)
+                  if f[0] == "reduce"]
+        assert table_fingerprint(parallel) == serial
+
+
+class TestCheckpointResume:
+    def test_checkpoint_records_every_cell(self, tmp_path, serial_table):
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(WORKLOADS, jobs=2, checkpoint=str(ck))
+        lines = ck.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["magic"] == "repro-sweep-v1"
+        assert header["meta"]["endpoints"] == ENDPOINTS
+        assert len(lines) - 1 == len(serial_table.records)
+
+    def test_resume_skips_checkpointed_cells(self, tmp_path, serial_table,
+                                             monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(WORKLOADS, checkpoint=str(ck))
+        total = len(serial_table.records)
+
+        # simulate a mid-sweep kill: drop the last 5 cells, re-adding the
+        # first of them as a line torn mid-write
+        lines = ck.read_text().splitlines()
+        keep = len(lines) - 5
+        ck.write_text("\n".join(lines[:keep]) + "\n" + lines[keep][:30])
+
+        recomputed = []
+        real_run_cell = runner_mod._run_cell
+
+        def counting_run_cell(plan, cell, *args, **kwargs):
+            recomputed.append(cell.key())
+            return real_run_cell(plan, cell, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "_run_cell", counting_run_cell)
+        resumed = make_explorer().run(WORKLOADS, checkpoint=str(ck),
+                                      resume=True)
+        # exactly the 4 dropped cells plus the torn one, nothing else
+        assert len(recomputed) == 5
+        assert table_fingerprint(resumed) == table_fingerprint(serial_table)
+
+    def test_resume_with_all_cells_done_recomputes_nothing(
+            self, tmp_path, serial_table, monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(WORKLOADS, checkpoint=str(ck))
+        monkeypatch.setattr(
+            runner_mod, "_run_cell",
+            lambda *a, **k: pytest.fail("cell recomputed on full resume"))
+        resumed = make_explorer().run(WORKLOADS, checkpoint=str(ck),
+                                      resume=True)
+        assert table_fingerprint(resumed) == table_fingerprint(serial_table)
+
+    def test_without_resume_checkpoint_is_replaced(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(["reduce"], checkpoint=str(ck))
+        first = ck.read_text()
+        make_explorer().run(["reduce"], checkpoint=str(ck))
+        lines = ck.read_text().splitlines()
+        assert len(lines) == len(first.splitlines())  # rewritten, not grown
+
+    def test_meta_mismatch_rejected(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(["reduce"], checkpoint=str(ck))
+        other = DesignSpaceExplorer(128, quadratic_tasks=16, seed=0)
+        with pytest.raises(ConfigError, match="different sweep"):
+            other.run(["reduce"], checkpoint=str(ck), resume=True)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        ck = tmp_path / "bogus.jsonl"
+        ck.write_text("not json at all\n")
+        store = SweepCheckpoint(ck, {"endpoints": 1})
+        with pytest.raises(ConfigError, match="bad header"):
+            store.load()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "absent.jsonl", {"e": 1})
+        assert store.load() == {}
+
+
+class TestRunnerGuards:
+    def test_resume_requires_checkpoint(self):
+        plan = make_explorer().plan(["reduce"])
+        with pytest.raises(SimulationError, match="checkpoint"):
+            run_sweep(plan, resume=True)
+
+    def test_jobs_must_be_positive(self):
+        plan = make_explorer().plan(["reduce"])
+        with pytest.raises(SimulationError, match="jobs"):
+            run_sweep(plan, jobs=0)
+
+
+class TestPartition:
+    def test_groups_cover_all_cells_without_splitting(self):
+        plan = make_explorer().plan(WORKLOADS)
+        buckets = _partition(list(plan.cells), 4)
+        assert len(buckets) == 4
+        seen = []
+        for bucket in buckets:
+            for _, cells in bucket:
+                labels = {c.topology.label() for c in cells}
+                assert len(labels) == 1  # topology groups are never split
+                seen.extend(c.key() for c in cells)
+        assert sorted(seen) == sorted(c.key() for c in plan.cells)
+        # each topology appears in exactly one bucket
+        owners: dict[str, int] = {}
+        for i, bucket in enumerate(buckets):
+            for rep, _ in bucket:
+                label = rep.topology.label()
+                assert label not in owners
+                owners[label] = i
+
+    def test_jobs_capped_at_group_count(self):
+        plan = make_explorer(include_baselines=False).plan(["reduce"])
+        groups = {c.topology.label() for c in plan.cells}
+        buckets = _partition(list(plan.cells), 999)
+        assert len(buckets) == len(groups)

@@ -72,3 +72,35 @@ class TestPerTaskStats:
         for entry in stats.values():
             assert entry["busy_span"] >= 0
             assert entry["last_end"] <= result.makespan + 1e-12
+
+
+class TestZeroDurationFlows:
+    @pytest.fixture(scope="class")
+    def zero_hop_run(self):
+        import numpy as np
+
+        topo = TorusTopology((4,), wraparound=False)
+        b = FlowBuilder(3)
+        z = b.add_flow(0, 1, CAP)                 # co-located -> zero-hop
+        b.add_flow(1, 2, CAP, after=[z])          # real flow
+        flows = b.build()
+        placement = np.array([0, 0, 3])
+        return simulate(topo, flows, placement=placement), flows
+
+    def test_rate_is_nan_not_inf(self, zero_hop_run):
+        import math
+
+        result, flows = zero_hop_run
+        rows = {r[0]: r for r in timeline_rows(result, flows)}
+        assert rows[0][6] == 0.0          # duration
+        assert math.isnan(rows[0][7])     # rate: nan, so stats can skip it
+        assert math.isfinite(rows[1][7])  # the real flow keeps its rate
+
+    def test_csv_emits_empty_field(self, zero_hop_run):
+        result, flows = zero_hop_run
+        lines = to_csv(result, flows).strip().split("\n")
+        zero_row = next(l for l in lines[1:] if l.startswith("0,"))
+        assert zero_row.endswith(",")     # empty rate field, not inf/nan
+        assert "inf" not in zero_row
+        # schema unchanged: still 8 comma-separated fields
+        assert all(len(l.split(",")) == 8 for l in lines[1:])
