@@ -7,6 +7,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro fig4 --endpoints 4096 --out fig4.csv --jobs 4 --checkpoint f4.jsonl
     repro fig5 --endpoints 4096 --jobs 4 --checkpoint f5.jsonl --resume
     repro run --topology nesttree --t 2 --u 4 --workload allreduce
+    repro resilience --endpoints 4096 --workload allreduce \
+        --fail-links 0 4 16 64 --jobs 4   # makespan vs failed cables
     repro info
 
 Dynamic experiments (fig4/fig5/run) default to a scaled-down system; the
@@ -50,6 +52,31 @@ def _add_sweep(p: argparse.ArgumentParser) -> None:
                    help="skip cells already present in --checkpoint")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress logging")
+    p.add_argument("--keep-going", action="store_true",
+                   help="record per-cell failures as typed error entries in "
+                        "the checkpoint instead of aborting the sweep")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock cap per sweep cell (parallel workers "
+                        "stuck past it are killed and the cell marked "
+                        "failed)")
+
+
+def _add_faults(p: argparse.ArgumentParser, *, many_links: bool) -> None:
+    """Fault-injection arguments shared by fig4/fig5 and resilience."""
+    if many_links:
+        p.add_argument("--fail-links", type=int, nargs="+", default=[0],
+                       metavar="N",
+                       help="failed duplex cable counts to sweep "
+                            "(default: 0, the healthy network)")
+    else:
+        p.add_argument("--fail-links", type=int, default=0, metavar="N",
+                       help="failed duplex cables to inject (default 0)")
+    p.add_argument("--fail-uplinks", type=int, default=0, metavar="N",
+                   help="dead hybrid uplink ports to inject; applies to "
+                        "the nesttree/nestghc cells only (default 0)")
+    p.add_argument("--fail-seed", type=int, default=0,
+                   help="seed for reproducible fault sampling (default 0)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,8 +97,22 @@ def main(argv: list[str] | None = None) -> int:
 
     p4 = sub.add_parser("fig4", help="heavy-workload normalised times")
     _add_sweep(p4)
+    _add_faults(p4, many_links=False)
     p5 = sub.add_parser("fig5", help="light-workload normalised times")
     _add_sweep(p5)
+    _add_faults(p5, many_links=False)
+
+    ps = sub.add_parser(
+        "resilience",
+        help="makespan vs injected faults per topology family")
+    _add_sweep(ps)
+    _add_faults(ps, many_links=True)
+    ps.add_argument("--workload", required=True,
+                    help="workload to replay at each fault level")
+    ps.add_argument("--topologies", nargs="*", default=None,
+                    metavar="FAMILY",
+                    help="subset of topology families to sweep "
+                         "(default: the full design space)")
 
     pr = sub.add_parser("run", help="one (topology, workload) simulation")
     _add_common(pr, endpoints=DEFAULT_ENDPOINTS)
@@ -94,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
         print(table2(args.endpoints))
     elif args.command in ("fig4", "fig5"):
         _run_figure(args, heavy=args.command == "fig4")
+    elif args.command == "resilience":
+        _run_resilience(args)
     elif args.command == "run":
         _run_single(args)
     elif args.command == "info":
@@ -113,7 +156,7 @@ def _validate(parser: argparse.ArgumentParser,
 
     if getattr(args, "endpoints", 1) < 1:
         parser.error(f"--endpoints must be positive, got {args.endpoints}")
-    if args.command in ("fig4", "fig5"):
+    if args.command in ("fig4", "fig5", "resilience"):
         if args.endpoints % 8:
             parser.error(
                 f"--endpoints must be a multiple of 8 so the sweep's "
@@ -122,13 +165,43 @@ def _validate(parser: argparse.ArgumentParser,
             parser.error(f"--jobs must be >= 1, got {args.jobs}")
         if args.resume and not args.checkpoint:
             parser.error("--resume requires --checkpoint PATH")
-        for name in args.workloads or ():
+        for name in getattr(args, "workloads", None) or ():
             if name not in available():
                 parser.error(f"unknown workload {name!r}; "
                              f"choose from: {', '.join(available())}")
+        _validate_faults(parser, args)
+    if args.command == "resilience":
+        from repro.topology import available as topo_available
+
+        if args.workload not in available():
+            parser.error(f"unknown workload {args.workload!r}; "
+                         f"choose from: {', '.join(available())}")
+        for family in args.topologies or ():
+            if family not in topo_available():
+                parser.error(
+                    f"unknown topology family {family!r}; "
+                    f"choose from: {', '.join(topo_available())}")
     if args.command == "run" and args.workload not in available():
         parser.error(f"unknown workload {args.workload!r}; "
                      f"choose from: {', '.join(available())}")
+
+
+def _validate_faults(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> None:
+    """Range-check the fault-injection and robustness flags (exit 2)."""
+    links = args.fail_links if isinstance(args.fail_links, list) \
+        else [args.fail_links]
+    for count in links:
+        if count < 0:
+            parser.error(f"--fail-links counts must be >= 0, got {count}")
+    if args.fail_uplinks < 0:
+        parser.error(
+            f"--fail-uplinks must be >= 0, got {args.fail_uplinks}")
+    if args.fail_seed < 0:
+        parser.error(f"--fail-seed must be >= 0, got {args.fail_seed}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be a positive number of "
+                     f"seconds, got {args.cell_timeout}")
 
 
 def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
@@ -140,7 +213,12 @@ def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
         quadratic_tasks=args.quadratic_tasks, seed=args.seed,
         progress=not args.quiet)
     table = explorer.run(names, jobs=args.jobs,
-                         checkpoint=args.checkpoint, resume=args.resume)
+                         checkpoint=args.checkpoint, resume=args.resume,
+                         fail_links=args.fail_links,
+                         fail_uplinks=args.fail_uplinks,
+                         fail_seed=args.fail_seed,
+                         keep_going=args.keep_going,
+                         cell_timeout=args.cell_timeout)
     fig_no = 4 if heavy else 5
     print(figure(table, names,
                  title=f"Figure {fig_no} ({'heavy' if heavy else 'light'} "
@@ -148,6 +226,81 @@ def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
     print()
     print(claims_report(table, fig_no))
     if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table.to_csv())
+        print(f"\nraw results written to {args.out}", file=sys.stderr)
+
+
+def _run_resilience(args: argparse.Namespace) -> None:
+    """Sweep makespan vs injected faults for every topology family.
+
+    The new scenario axis the paper's conclusions ask for: the same
+    workload is replayed on each topology at increasing fault counts, and
+    the table reports each topology's slowdown relative to its own healthy
+    run (when a 0-fault column is included).  Cells whose degraded network
+    disconnects the workload's endpoint pairs — or that fail for any other
+    reason under ``--keep-going`` — show up as ``failed`` rather than
+    silently vanishing.
+    """
+    from repro.core.config import HYBRID_FAMILIES
+    from repro.core.explorer import PLACEMENT_POLICY, ResultTable
+    from repro.sweep import SweepCell, SweepPlan, run_sweep
+
+    explorer = DesignSpaceExplorer(
+        args.endpoints, fidelity=args.fidelity,
+        quadratic_tasks=args.quadratic_tasks, seed=args.seed,
+        progress=not args.quiet)
+    specs = explorer.topology_specs()
+    if args.topologies:
+        specs = [s for s in specs if s.family in args.topologies]
+    wspec = explorer.workload_spec(args.workload)
+    policy = PLACEMENT_POLICY.get(args.workload, "spread")
+    counts = list(dict.fromkeys(args.fail_links))  # dedupe, keep order
+    cells = []
+    for count in counts:
+        for tspec in specs:
+            uplinks = (args.fail_uplinks if tspec.family in HYBRID_FAMILIES
+                       else 0)
+            cells.append(SweepCell(
+                workload=wspec, topology=tspec, placement=policy,
+                fail_links=count, fail_uplinks=uplinks,
+                fail_seed=args.fail_seed))
+    plan = SweepPlan(endpoints=args.endpoints, fidelity=args.fidelity,
+                     seed=args.seed, cells=tuple(cells))
+    log = None if args.quiet else \
+        (lambda m: print(f"[resilience] {m}", file=sys.stderr, flush=True))
+    records = run_sweep(plan, jobs=args.jobs, checkpoint=args.checkpoint,
+                        resume=args.resume, log=log,
+                        keep_going=args.keep_going,
+                        cell_timeout=args.cell_timeout)
+
+    by_cell = {(r.topology, r.faults["cables"] if r.faults else 0): r
+               for r in records}
+    labels = list(dict.fromkeys(s.label() for s in specs))
+    print(f"Resilience sweep: {args.workload} @ {args.endpoints} endpoints "
+          f"(fault seed {args.fail_seed}, "
+          f"{args.fail_uplinks} uplink-port faults on hybrids)")
+    header = f"{'topology':>16}" + "".join(
+        f"{f'links={c}':>16}" for c in counts)
+    print(header)
+    for label in labels:
+        healthy = by_cell.get((label, 0))
+        row = [f"{label:>16}"]
+        for count in counts:
+            record = by_cell.get((label, count))
+            if record is None:
+                row.append(f"{'failed':>16}")
+            elif healthy is not None and healthy.makespan > 0:
+                slowdown = record.makespan / healthy.makespan
+                row.append(f"{record.makespan * 1e3:8.3f}ms"
+                           f" {slowdown:4.2f}x")
+            else:
+                row.append(f"{record.makespan * 1e3:14.3f}ms")
+        print("".join(row))
+    if args.out:
+        table = ResultTable(endpoints=args.endpoints, fidelity=args.fidelity)
+        for record in records:
+            table.add(record)
         with open(args.out, "w") as fh:
             fh.write(table.to_csv())
         print(f"\nraw results written to {args.out}", file=sys.stderr)

@@ -25,6 +25,10 @@ DEFAULT_ENDPOINTS = 4096
 #: Default task cap for workloads with quadratic flow counts.
 DEFAULT_QUADRATIC_TASKS = 512
 
+#: Families with upper-tier uplink ports; the only ones uplink-port faults
+#: apply to (other families simply have no such ports to fail).
+HYBRID_FAMILIES = ("nesttree", "nestghc")
+
 
 @dataclass(frozen=True)
 class TopologySpec:

@@ -48,6 +48,9 @@ class RunRecord:
     events: int
     reallocations: int
     wall_seconds: float
+    #: Fault fingerprint ({"cables": ..., "uplinks": ..., "seed": ...})
+    #: when the cell ran on a degraded network; None for a healthy run.
+    faults: dict | None = None
 
 
 @dataclass
@@ -89,13 +92,18 @@ class ResultTable:
 
     def to_csv(self) -> str:
         lines = ["workload,topology,family,t,u,makespan_s,num_flows,"
-                 "events,reallocations,wall_s"]
+                 "events,reallocations,wall_s,faults"]
         for r in self.records:
+            if r.faults:
+                faults = (f"{r.faults['cables']}c+{r.faults['uplinks']}u"
+                          f"@s{r.faults['seed']}")
+            else:
+                faults = ""
             lines.append(
                 f"{r.workload},{r.topology},{r.family},"
                 f"{'' if r.t is None else r.t},{'' if r.u is None else r.u},"
                 f"{r.makespan!r},{r.num_flows},{r.events},"
-                f"{r.reallocations},{r.wall_seconds:.3f}")
+                f"{r.reallocations},{r.wall_seconds:.3f},{faults}")
         return "\n".join(lines) + "\n"
 
 
@@ -155,8 +163,17 @@ class DesignSpaceExplorer:
 
     # ------------------------------------------------------------------ plan
     def plan(self, workload_names: Iterable[str], *,
-             workload_params: dict[str, dict] | None = None):
-        """The sweep plan for these workloads (workload-major cell order)."""
+             workload_params: dict[str, dict] | None = None,
+             fail_links: int = 0, fail_uplinks: int = 0,
+             fail_seed: int = 0):
+        """The sweep plan for these workloads (workload-major cell order).
+
+        ``fail_links``/``fail_uplinks``/``fail_seed`` inject reproducible
+        faults into every cell; uplink-port faults only apply to the hybrid
+        families (the baselines have no uplink ports, so their cells run
+        with cable faults only).
+        """
+        from repro.core.config import HYBRID_FAMILIES
         from repro.sweep import SweepCell, SweepPlan
 
         params = workload_params or {}
@@ -167,8 +184,13 @@ class DesignSpaceExplorer:
                 spec = WorkloadSpec(spec.name, spec.tasks, params[wname])
             policy = PLACEMENT_POLICY.get(wname, "spread")
             for tspec in self.topology_specs():
+                uplinks = (fail_uplinks if tspec.family in HYBRID_FAMILIES
+                           else 0)
                 cells.append(SweepCell(workload=spec, topology=tspec,
-                                       placement=policy))
+                                       placement=policy,
+                                       fail_links=fail_links,
+                                       fail_uplinks=uplinks,
+                                       fail_seed=fail_seed))
         return SweepPlan(endpoints=self.endpoints, fidelity=self.fidelity,
                          seed=self.seed, cells=tuple(cells))
 
@@ -177,25 +199,34 @@ class DesignSpaceExplorer:
             workload_params: dict[str, dict] | None = None,
             jobs: int = 1,
             checkpoint: str | None = None,
-            resume: bool = False) -> ResultTable:
+            resume: bool = False,
+            fail_links: int = 0, fail_uplinks: int = 0, fail_seed: int = 0,
+            keep_going: bool = False,
+            cell_timeout: float | None = None) -> ResultTable:
         """Simulate every workload on every topology of the design space.
 
         ``jobs`` > 1 fans the sweep out over a process pool (one topology
         group per worker at a time); ``checkpoint`` names a JSONL file that
         receives each cell as it completes, and ``resume=True`` skips the
         cells already recorded there.  Serial and parallel runs return
-        identical tables (wall-clock fields aside).
+        identical tables (wall-clock fields aside).  The ``fail_*`` knobs
+        run the whole sweep on a degraded network (see :meth:`plan`);
+        ``keep_going`` and ``cell_timeout`` harden long sweeps (see
+        :func:`repro.sweep.run_sweep`).
         """
         from repro.sweep import run_sweep
 
         if self.skipped_configs:
             self._log(f"skipping design points that do not tile "
                       f"{self.endpoints} endpoints: {self.skipped_configs}")
-        plan = self.plan(workload_names, workload_params=workload_params)
+        plan = self.plan(workload_names, workload_params=workload_params,
+                         fail_links=fail_links, fail_uplinks=fail_uplinks,
+                         fail_seed=fail_seed)
         records = run_sweep(
             plan, jobs=jobs, checkpoint=checkpoint, resume=resume,
             log=self._log if self.progress else None,
-            topology_provider=self.topology)
+            topology_provider=self.topology,
+            keep_going=keep_going, cell_timeout=cell_timeout)
         table = ResultTable(endpoints=self.endpoints, fidelity=self.fidelity)
         for record in records:
             table.add(record)

@@ -50,6 +50,9 @@ def analyze(topology: Topology, flows: FlowSet, *,
 
 def _tier_breakdown(topology: Topology, loads: np.ndarray) -> dict[str, float]:
     """Total bits carried per architectural tier."""
+    # a degraded wrapper shares its base's link table, so the breakdown of
+    # the underlying machine applies verbatim to the rerouted loads
+    topology = getattr(topology, "base", topology)
     nic_ids = np.concatenate([topology.injection_links,
                               topology.consumption_links])
     nic = float(loads[nic_ids].sum())

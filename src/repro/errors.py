@@ -34,3 +34,22 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid experiment configurations."""
+
+
+class DegradedNetworkError(ReproError):
+    """Raised when injected faults physically disconnect endpoint pairs.
+
+    ``pairs`` lists the ``(src, dst)`` endpoint pairs for which no surviving
+    path exists — rerouting cannot save them, only repairing the network can.
+    """
+
+    def __init__(self, pairs: list[tuple[int, int]], *,
+                 faults: str | None = None) -> None:
+        self.pairs = list(pairs)
+        shown = ", ".join(f"{s}->{d}" for s, d in self.pairs[:8])
+        if len(self.pairs) > 8:
+            shown += f", ... ({len(self.pairs)} pairs)"
+        message = f"network disconnected under faults: no path for {shown}"
+        if faults:
+            message += f" [{faults}]"
+        super().__init__(message)

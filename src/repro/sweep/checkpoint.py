@@ -5,24 +5,39 @@ File format (one JSON document per line):
 * line 1 — header: ``{"magic": "repro-sweep-v1", "meta": {...}}`` where
   ``meta`` is the owning plan's fingerprint (endpoints, fidelity, seed);
 * every other line — one completed cell:
-  ``{"key": "<workload>@<tasks>|<topology>", "workload": ..., "topology":
-  ..., "family": ..., "t": ..., "u": ..., "makespan": ..., "num_flows":
-  ..., "events": ..., "reallocations": ..., "wall_seconds": ...}``.
+  ``{"key": "<workload>@<tasks>|<topology>[|faults(...)]", "workload": ...,
+  "topology": ..., "family": ..., "t": ..., "u": ..., "faults": ...,
+  "makespan": ..., "num_flows": ..., "events": ..., "reallocations": ...,
+  "wall_seconds": ...}`` — or, for a cell that failed under ``keep_going``,
+  a typed error record ``{"key": ..., "workload": ..., "topology": ...,
+  "faults": ..., "error": {"type": ..., "message": ...}}``.
 
 Records are appended and flushed as each cell completes, so a killed sweep
-loses at most the cells that were in flight.  A torn final line (the
-process died mid-write) is skipped on load rather than failing the resume.
+loses at most the cells that were in flight.  The loader is forgiving:
+*any* undecodable or schema-invalid line — a torn final write, a corrupted
+block in the middle of the file, a record from a future format — is
+skipped and counted rather than failing the resume; the count is reported
+through the optional ``log`` sink.  Error records are loaded but reported
+separately from results, so a resumed sweep retries previously failed
+cells instead of silently accepting their absence.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.errors import ConfigError
 
 MAGIC = "repro-sweep-v1"
+
+#: Fields every successful cell record must carry to be schema-valid.
+RESULT_FIELDS = frozenset({
+    "workload", "topology", "family", "makespan", "num_flows", "events",
+    "reallocations", "wall_seconds",
+})
 
 
 class SweepCheckpoint:
@@ -33,12 +48,15 @@ class SweepCheckpoint:
         self.meta = dict(meta)
 
     # ------------------------------------------------------------------ read
-    def load(self) -> dict[str, dict]:
-        """Completed records by cell key; ``{}`` when the file is absent.
+    def load(self, *, log: Callable[[str], None] | None = None
+             ) -> dict[str, dict]:
+        """Records by cell key (results *and* error records); ``{}`` when
+        the file is absent.
 
         Raises :class:`ConfigError` when the header belongs to a different
         plan (resuming a 512-endpoint checkpoint into a 2048-endpoint sweep
-        would silently mix scales).
+        would silently mix scales).  Damaged body lines are skipped and
+        counted, never fatal.
         """
         if not self.path.exists():
             return {}
@@ -55,22 +73,28 @@ class SweepCheckpoint:
                 f"checkpoint {self.path} was written by a different sweep: "
                 f"{header['meta']} != {self.meta}")
         records: dict[str, dict] = {}
+        skipped = 0
         for line in lines[1:]:
             record = self._decode(line)
-            if record is None or "key" not in record:
-                continue  # torn write from an interrupted run
+            if record is None or not self._schema_valid(record):
+                skipped += 1
+                continue
             records[record["key"]] = record
+        if skipped and log is not None:
+            log(f"checkpoint {self.path}: skipped {skipped} undecodable or "
+                f"schema-invalid line(s); the affected cells will be re-run")
         return records
 
     # ----------------------------------------------------------------- write
-    def start(self, *, resume: bool) -> dict[str, dict]:
-        """Open the checkpoint for a run and return the completed records.
+    def start(self, *, resume: bool,
+              log: Callable[[str], None] | None = None) -> dict[str, dict]:
+        """Open the checkpoint for a run and return the stored records.
 
         ``resume=False`` starts fresh (any existing file is replaced);
         ``resume=True`` loads and keeps existing records.
         """
         if resume:
-            done = self.load()
+            done = self.load(log=log)
             if not self.path.exists():
                 self._write_header()
             return done
@@ -96,3 +120,15 @@ class SweepCheckpoint:
         except json.JSONDecodeError:
             return None
         return doc if isinstance(doc, dict) else None
+
+    @staticmethod
+    def _schema_valid(record: dict) -> bool:
+        """A record is either a full result row or a typed error entry."""
+        if not isinstance(record.get("key"), str):
+            return False
+        error = record.get("error")
+        if error is not None:
+            return (isinstance(error, dict)
+                    and isinstance(error.get("type"), str)
+                    and isinstance(error.get("message"), str))
+        return RESULT_FIELDS <= record.keys()

@@ -21,22 +21,54 @@ class SweepCell:
     ``placement`` names the task->endpoint policy applied when the workload
     runs fewer tasks than there are endpoints (the identity placement is
     used when the counts match).
+
+    ``fail_links``/``fail_uplinks``/``fail_seed`` inject faults: the cell
+    runs on a :class:`~repro.topology.degraded.DegradedTopology` wrapping
+    the built topology with ``FaultSet.sample(cables=fail_links,
+    uplinks=fail_uplinks, seed=fail_seed)``.  All three default to the
+    healthy machine.
     """
 
     workload: WorkloadSpec
     topology: TopologySpec
     placement: str = "spread"
+    fail_links: int = 0
+    fail_uplinks: int = 0
+    fail_seed: int = 0
+
+    def has_faults(self) -> bool:
+        return bool(self.fail_links or self.fail_uplinks)
+
+    def fault_fingerprint(self) -> dict | None:
+        """Checkpoint-stable fault description; ``None`` when healthy."""
+        if not self.has_faults():
+            return None
+        return {"cables": self.fail_links, "uplinks": self.fail_uplinks,
+                "seed": self.fail_seed}
+
+    def cache_key(self) -> str:
+        """Route-cache partition: faulted routes never mix with healthy."""
+        return f"{self.topology.label()}{self._fault_suffix()}"
+
+    def _fault_suffix(self) -> str:
+        if not self.has_faults():
+            return ""  # healthy cells keep their pre-fault keys
+        return (f"|faults({self.fail_links},{self.fail_uplinks},"
+                f"s{self.fail_seed})")
 
     def key(self) -> str:
         """Stable checkpoint key.
 
         Includes the task count because the same workload name can run at
         different caps (``--quadratic-tasks``); a checkpoint written at one
-        cap must not satisfy a sweep at another.  Extra workload params are
-        not fingerprinted — use a fresh checkpoint when overriding them.
+        cap must not satisfy a sweep at another.  Includes the fault
+        fingerprint for degraded cells so resume never mixes healthy and
+        degraded runs.  Extra workload params are not fingerprinted — use a
+        fresh checkpoint when overriding them.
         """
         tasks = "all" if self.workload.tasks is None else self.workload.tasks
-        return f"{self.workload.name}@{tasks}|{self.topology.label()}"
+        return (f"{self.workload.name}@{tasks}|{self.topology.label()}"
+                f"{self._fault_suffix()}")
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Parallel, resumable sweep executor.
+"""Parallel, resumable, fault-tolerant sweep executor.
 
 Executes every cell of a :class:`~repro.sweep.plan.SweepPlan`, either
 in-process (``jobs=1``, preserving the serial explorer's exact behaviour
@@ -7,40 +7,71 @@ and log output) or across a pool of worker processes.
 Parallel decomposition
 ----------------------
 Topology construction and route computation dominate a sweep's warm-up
-cost, so cells are grouped *by topology* and whole groups are assigned to
-workers (greedy balance on cell counts).  Each worker builds each of its
-topologies exactly once and keeps one route cache per topology, shared by
-every workload it replays on that machine — the same warm-start the serial
-explorer gets from its in-process caches.
+cost, so cells are grouped *by topology* and whole groups are placed on a
+shared task queue (largest first).  Workers pull one group at a time,
+build its topology once and keep one route cache per ``(topology, fault
+set)``, shared by every workload replayed on that machine — the same
+warm-start the serial explorer gets from its in-process caches.
 
-Results stream back to the parent one cell at a time over a queue; the
-parent appends each to the (optional) JSONL checkpoint the moment it
+Each worker talks to the parent over its own duplex pipe — the parent
+assigns groups and the worker streams results back.  Nothing is shared
+between workers (a shared queue's internal lock, held by a process at the
+instant it is SIGKILLed, would deadlock every other user of the queue),
+so one worker's death can never wedge the rest of the pool.  The parent
+appends each result to the (optional) JSONL checkpoint the moment it
 arrives, so a killed sweep loses only in-flight cells and ``resume=True``
 re-runs only what is missing.  Simulation is deterministic, so serial and
-parallel runs produce identical records (wall-clock fields aside).
+parallel runs produce identical records (wall-clock fields aside) — fault
+injection included, because each cell's
+:class:`~repro.topology.degraded.FaultSet` is reproduced from the cell's
+own ``(fail_links, fail_uplinks, fail_seed)`` triple wherever it runs.
+
+Surviving worker failure
+------------------------
+Long degraded sweeps must not die with one worker.  When a worker
+disappears without a clean exit (crash, OOM-kill, SIGKILL), the parent
+requeues the unfinished cells of its in-flight group onto the surviving
+workers and respawns a replacement, up to a bounded respawn budget.  The
+cell that was running when the worker died is retried once; if it kills a
+second worker it is marked failed instead of being retried forever.
+``cell_timeout`` adds a wall-clock cap per cell: a worker stuck past the
+cap is killed and the cell marked failed (other cells of its group are
+requeued).  With ``keep_going=True`` per-cell failures — simulation
+errors, disconnected degraded networks, crashes, timeouts — become typed
+error records in the checkpoint and are reported at the end; without it
+the first failure aborts the sweep, as before.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import queue as queue_mod
 import time
 import traceback
+from collections import deque
 from collections.abc import Callable
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 
 import numpy as np
 
 from repro.core.explorer import RunRecord
 from repro.engine import simulate
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.mapping import placement as placement_mod
 from repro.sweep.checkpoint import SweepCheckpoint
 from repro.sweep.plan import SweepCell, SweepPlan
 from repro.topology.base import Topology
+from repro.topology.degraded import DegradedTopology, FaultSet
 
-#: Seconds between liveness checks while waiting on worker results.
-_POLL_SECONDS = 1.0
+#: Seconds between liveness/timeout checks while waiting on worker results.
+_POLL_SECONDS = 0.25
+
+#: Replacement workers the parent may spawn per run after crashes.
+DEFAULT_MAX_RESPAWNS = 3
+
+#: Times a cell may be attempted when its worker keeps dying under it.
+_MAX_CELL_ATTEMPTS = 2
 
 #: Type of the per-worker workload cache: (name, tasks) -> prepared inputs.
 _FlowsCache = dict[tuple[str, int | None], tuple]
@@ -52,6 +83,9 @@ def run_sweep(plan: SweepPlan, *,
               resume: bool = False,
               log: Callable[[str], None] | None = None,
               topology_provider: Callable[..., Topology] | None = None,
+              keep_going: bool = False,
+              cell_timeout: float | None = None,
+              max_respawns: int = DEFAULT_MAX_RESPAWNS,
               ) -> list[RunRecord]:
     """Execute a sweep plan and return its records in plan order.
 
@@ -61,7 +95,8 @@ def run_sweep(plan: SweepPlan, *,
         The cells to run plus the sweep globals.
     jobs:
         Worker process count.  ``1`` runs in-process (no multiprocessing);
-        higher values partition topology groups across workers.
+        higher values fan topology groups out over a worker pool that
+        survives individual worker deaths (see module docstring).
     checkpoint:
         Optional JSONL checkpoint path.  Completed cells are appended as
         they finish; with ``resume=True`` cells already in the file are
@@ -69,6 +104,7 @@ def run_sweep(plan: SweepPlan, *,
         Without ``resume`` an existing file is replaced.
     resume:
         Skip cells present in ``checkpoint``.  Requires ``checkpoint``.
+        Cells stored as *error* records are retried, not skipped.
     log:
         Progress sink (one message per call); ``None`` silences progress.
     topology_provider:
@@ -76,33 +112,67 @@ def run_sweep(plan: SweepPlan, *,
         fetch from a cache) each topology.  The explorer passes its caching
         builder so repeated ``run`` calls share constructed topologies.
         Worker processes always build their own.
+    keep_going:
+        Record per-cell failures as typed error entries in the checkpoint
+        and keep sweeping instead of aborting on the first failure.  Failed
+        cells are reported through ``log`` at the end and omitted from the
+        returned records.
+    cell_timeout:
+        Wall-clock seconds a single cell may run.  In parallel mode the
+        offending worker is killed and the cell marked failed; in serial
+        mode the cap is checked after the cell finishes (best effort — a
+        single process cannot preempt itself).
+    max_respawns:
+        Replacement workers the parent may spawn after worker deaths
+        before it stops replacing them (surviving workers still drain the
+        queue; the sweep only aborts when none remain).
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     if resume and checkpoint is None:
         raise SimulationError("resume requires a checkpoint path")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise SimulationError(
+            f"cell_timeout must be positive, got {cell_timeout}")
+    if max_respawns < 0:
+        raise SimulationError(
+            f"max_respawns must be >= 0, got {max_respawns}")
 
     store = None
     done: dict[str, dict] = {}
     if checkpoint is not None:
         store = SweepCheckpoint(checkpoint, plan.meta())
-        done = store.start(resume=resume)
+        loaded = store.start(resume=resume, log=log)
+        # error records from a previous --keep-going run are retried
+        done = {k: doc for k, doc in loaded.items() if "error" not in doc}
+        retries = len(loaded) - len(done)
+        if retries and log is not None:
+            log(f"checkpoint {store.path}: retrying {retries} cell(s) "
+                f"previously recorded as failed")
     pending = plan.pending(done)
     if store is not None and log is not None:
         log(f"checkpoint {store.path}: {len(plan.cells) - len(pending)} of "
             f"{len(plan.cells)} cells already complete")
 
+    failures: dict[str, dict] = {}
     if jobs == 1:
-        records = _run_serial(plan, pending, store, log, topology_provider)
+        records = _run_serial(plan, pending, store, log, topology_provider,
+                              keep_going, cell_timeout, failures)
     else:
-        records = _run_parallel(plan, pending, store, log, jobs)
+        records = _run_parallel(plan, pending, store, log, jobs, keep_going,
+                                cell_timeout, max_respawns, failures)
 
     by_key = dict(done)
     by_key.update(records)
-    missing = [c.key() for c in plan.cells if c.key() not in by_key]
+    missing = [c.key() for c in plan.cells
+               if c.key() not in by_key and c.key() not in failures]
     if missing:
         raise SimulationError(f"sweep finished with missing cells: {missing}")
-    return [_to_record(by_key[c.key()]) for c in plan.cells]
+    if failures and log is not None:
+        log(f"{len(failures)} cell(s) failed and were recorded as typed "
+            f"error entries: {', '.join(sorted(failures))}")
+    return [_to_record(by_key[c.key()]) for c in plan.cells
+            if c.key() in by_key]
 
 
 # ---------------------------------------------------------------- cell work
@@ -123,6 +193,20 @@ def _prepare_workload(plan: SweepPlan, cell: SweepCell,
     return flows_cache[key]
 
 
+def _cell_topology(cell: SweepCell, base: Topology,
+                   degraded_cache: dict[str, Topology]) -> Topology:
+    """The (possibly fault-wrapped) topology a cell simulates on."""
+    if not cell.has_faults():
+        return base
+    key = cell.cache_key()
+    if key not in degraded_cache:
+        degraded_cache[key] = DegradedTopology(
+            base, FaultSet.sample(base, cables=cell.fail_links,
+                                  uplinks=cell.fail_uplinks,
+                                  seed=cell.fail_seed))
+    return degraded_cache[key]
+
+
 def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
               flows_cache: _FlowsCache,
               route_cache: dict[tuple[int, int], np.ndarray]) -> dict:
@@ -139,11 +223,23 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
         "family": cell.topology.family,
         "t": cell.topology.params.get("t"),
         "u": cell.topology.params.get("u"),
+        "faults": cell.fault_fingerprint(),
         "makespan": result.makespan,
         "num_flows": result.num_flows,
         "events": result.events,
         "reallocations": result.reallocations,
         "wall_seconds": wall,
+    }
+
+
+def _error_doc(cell: SweepCell, error_type: str, message: str) -> dict:
+    """Typed checkpoint entry for a cell that could not produce a result."""
+    return {
+        "key": cell.key(),
+        "workload": cell.workload.name,
+        "topology": cell.topology.label(),
+        "faults": cell.fault_fingerprint(),
+        "error": {"type": error_type, "message": message},
     }
 
 
@@ -153,12 +249,22 @@ def _to_record(doc: dict) -> RunRecord:
         family=doc["family"], t=doc["t"], u=doc["u"],
         makespan=doc["makespan"], num_flows=doc["num_flows"],
         events=doc["events"], reallocations=doc["reallocations"],
-        wall_seconds=doc["wall_seconds"])
+        wall_seconds=doc["wall_seconds"], faults=doc.get("faults"))
 
 
 def _cell_log_line(doc: dict) -> str:
-    return (f"  {doc['topology']:>16}: {doc['makespan'] * 1e3:9.3f} ms "
+    label = doc["topology"]
+    if doc.get("faults"):
+        f = doc["faults"]
+        label += f"+{f['cables']}c/{f['uplinks']}u"
+    return (f"  {label:>16}: {doc['makespan'] * 1e3:9.3f} ms "
             f"({doc['wall_seconds']:5.1f}s wall)")
+
+
+def _failure_log_line(doc: dict) -> str:
+    err = doc["error"]
+    return (f"  {doc['topology']:>16}: FAILED "
+            f"({err['type']}: {err['message']})")
 
 
 # -------------------------------------------------------------- serial path
@@ -166,7 +272,8 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
                 store: SweepCheckpoint | None,
                 log: Callable[[str], None] | None,
                 topology_provider: Callable[..., Topology] | None,
-                ) -> dict[str, dict]:
+                keep_going: bool, cell_timeout: float | None,
+                failures: dict[str, dict]) -> dict[str, dict]:
     if topology_provider is None:
         topologies: dict[str, Topology] = {}
 
@@ -179,9 +286,18 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
             return topologies[label]
 
     flows_cache: _FlowsCache = {}
+    degraded_cache: dict[str, Topology] = {}
     route_caches: dict[str, dict] = {}
     records: dict[str, dict] = {}
     current_workload: tuple[str, int | None] | None = None
+
+    def record_failure(doc: dict) -> None:
+        failures[doc["key"]] = doc
+        if store is not None:
+            store.append(doc)
+        if log is not None:
+            log(_failure_log_line(doc))
+
     for cell in pending:
         wkey = (cell.workload.name, cell.workload.tasks)
         if wkey != current_workload:
@@ -190,9 +306,26 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
                 log(f"workload {cell.workload.name}: {flows.num_flows} "
                     f"flows, {tasks} tasks")
             current_workload = wkey
-        topo = topology_provider(cell.topology)
-        doc = _run_cell(plan, cell, topo, flows_cache,
-                        route_caches.setdefault(cell.topology.label(), {}))
+        try:
+            topo = _cell_topology(cell, topology_provider(cell.topology),
+                                  degraded_cache)
+            doc = _run_cell(plan, cell, topo, flows_cache,
+                            route_caches.setdefault(cell.cache_key(), {}))
+        except ReproError as exc:
+            if not keep_going:
+                raise
+            record_failure(_error_doc(cell, type(exc).__name__, str(exc)))
+            continue
+        if cell_timeout is not None and doc["wall_seconds"] > cell_timeout:
+            # a single process cannot preempt itself; flag after the fact
+            err = _error_doc(
+                cell, "CellTimeout",
+                f"cell took {doc['wall_seconds']:.1f}s, over the "
+                f"{cell_timeout:g}s cell timeout")
+            if not keep_going:
+                raise SimulationError(err["error"]["message"])
+            record_failure(err)
+            continue
         records[doc["key"]] = doc
         if store is not None:
             store.append(doc)
@@ -202,97 +335,283 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
 
 
 # ------------------------------------------------------------ parallel path
-def _partition(pending: list[SweepCell], jobs: int
-               ) -> list[list[tuple[SweepCell, list[SweepCell]]]]:
-    """Group cells by topology and balance whole groups across workers.
+def _group_cells(pending: list[SweepCell]) -> list[list[SweepCell]]:
+    """Cells grouped by topology label, largest group first.
 
-    Returns one list of ``(representative cell, group cells)`` pairs per
-    worker.  Greedy longest-group-first assignment to the least-loaded
-    worker keeps cell counts even without splitting a topology (splitting
-    would forfeit the per-worker topology/route-cache reuse).
+    A group is the unit of worker assignment: one worker runs a whole
+    group so the topology is built once and its route caches are reused
+    across every workload (and fault set) replayed on it.
     """
     groups: dict[str, list[SweepCell]] = {}
     for cell in pending:
         groups.setdefault(cell.topology.label(), []).append(cell)
-    ordered = sorted(groups.values(), key=len, reverse=True)
-    n = min(jobs, len(ordered)) or 1
-    buckets: list[list[tuple[SweepCell, list[SweepCell]]]] = [[] for _ in range(n)]
-    sizes = [0] * n
-    for group in ordered:
-        i = sizes.index(min(sizes))
-        buckets[i].append((group[0], group))
-        sizes[i] += len(group)
-    return buckets
+    return sorted(groups.values(), key=len, reverse=True)
 
 
-def _sweep_worker(plan: SweepPlan,
-                  assignment: list[tuple[SweepCell, list[SweepCell]]],
-                  out: mp.Queue, worker_id: int) -> None:
-    """Worker loop: build each assigned topology once, run its cells."""
+def _sweep_worker(plan: SweepPlan, conn, worker_id: int) -> None:
+    """Worker loop: receive topology groups, build once, run their cells.
+
+    The worker owns one end of a duplex pipe.  The parent sends
+    ``("run", gid, cells)`` / ``("stop",)``; the worker streams back
+    ``start`` / ``ok`` / ``cellerror`` / ``groupdone`` messages.  Per-cell
+    :class:`~repro.errors.ReproError` failures are reported as
+    ``cellerror`` and the loop continues; anything else is a bug and
+    aborts via a ``fatal`` message.
+    """
     try:
         flows_cache: _FlowsCache = {}
-        for rep, cells in assignment:
-            topology = rep.topology.build(plan.endpoints)
-            route_cache: dict[tuple[int, int], np.ndarray] = {}
+        current_label: str | None = None
+        base: Topology | None = None
+        degraded_cache: dict[str, Topology] = {}
+        route_caches: dict[str, dict] = {}
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # parent is gone
+                return
+            if msg[0] == "stop":
+                break
+            gid, cells = msg[1], msg[2]
             for cell in cells:
-                out.put(("ok", _run_cell(plan, cell, topology,
-                                         flows_cache, route_cache)))
+                conn.send(("start", cell.key()))
+                try:
+                    label = cell.topology.label()
+                    if label != current_label:
+                        base = cell.topology.build(plan.endpoints)
+                        current_label = label
+                        degraded_cache = {}
+                        route_caches = {}
+                    topo = _cell_topology(cell, base, degraded_cache)
+                    doc = _run_cell(
+                        plan, cell, topo, flows_cache,
+                        route_caches.setdefault(cell.cache_key(), {}))
+                except ReproError as exc:
+                    conn.send(("cellerror",
+                               _error_doc(cell, type(exc).__name__,
+                                          str(exc))))
+                    continue
+                conn.send(("ok", doc))
+            conn.send(("groupdone", gid))
     except Exception:
-        out.put(("error", worker_id, traceback.format_exc()))
+        conn.send(("fatal", traceback.format_exc()))
     finally:
-        out.put(("exit", worker_id))
+        try:
+            conn.send(("exit",))
+        except Exception:  # pipe already torn down mid-shutdown
+            pass
+
+
+@dataclass
+class _WorkerState:
+    proc: mp.process.BaseProcess
+    conn: mp_connection.Connection
+    group: int | None = None
+    current: str | None = None
+    started: float = field(default_factory=time.monotonic)
+    broken: bool = False   # pipe raised mid-recv; treat as dead
+    finished: bool = False  # sent its final "exit" message
 
 
 def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
                   store: SweepCheckpoint | None,
                   log: Callable[[str], None] | None,
-                  jobs: int) -> dict[str, dict]:
+                  jobs: int, keep_going: bool, cell_timeout: float | None,
+                  max_respawns: int, failures: dict[str, dict]
+                  ) -> dict[str, dict]:
     if not pending:
         return {}
-    buckets = _partition(pending, jobs)
+    groups = _group_cells(pending)
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
-    out: mp.Queue = ctx.Queue()
-    workers = [ctx.Process(target=_sweep_worker, args=(plan, bucket, out, i),
-                           daemon=True)
-               for i, bucket in enumerate(buckets)]
-    if log is not None:
-        log(f"running {len(pending)} cells across {len(workers)} workers")
-    for w in workers:
-        w.start()
 
+    groups_by_id: dict[int, list[SweepCell]] = dict(enumerate(groups))
+    group_queue: deque[int] = deque(groups_by_id)
+    next_gid = len(groups)
+
+    workers: dict[int, _WorkerState] = {}
+    next_wid = 0
+
+    def spawn() -> None:
+        nonlocal next_wid
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_sweep_worker,
+                           args=(plan, child_conn, next_wid),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        workers[next_wid] = _WorkerState(proc=proc, conn=parent_conn)
+        next_wid += 1
+
+    for _ in range(min(jobs, len(groups))):
+        spawn()
+    if log is not None:
+        log(f"running {len(pending)} cells across {len(workers)} workers "
+            f"({len(groups)} topology groups)")
+
+    outstanding: dict[str, SweepCell] = {c.key(): c for c in pending}
     records: dict[str, dict] = {}
+    attempts: dict[str, int] = {}
+    respawns_used = 0
+    reaped: list[_WorkerState] = []
     failure: str | None = None
-    exited = 0
-    try:
-        while exited < len(workers):
+
+    def record_failure(doc: dict) -> None:
+        nonlocal failure
+        key = doc["key"]
+        outstanding.pop(key, None)
+        if keep_going:
+            failures[key] = doc
+            if store is not None:
+                store.append(doc)
+            if log is not None:
+                log(_failure_log_line(doc))
+        else:
+            err = doc["error"]
+            failure = (f"sweep cell {key} failed: "
+                       f"{err['type']}: {err['message']}")
+
+    def handle(state: _WorkerState, msg: tuple) -> None:
+        nonlocal failure
+        kind = msg[0]
+        if kind == "ok":
+            doc = msg[1]
+            records[doc["key"]] = doc
+            outstanding.pop(doc["key"], None)
+            state.current = None
+            if store is not None:
+                store.append(doc)
+            if log is not None:
+                log(f"[{doc['workload']}]" + _cell_log_line(doc))
+        elif kind == "cellerror":
+            state.current = None
+            record_failure(msg[1])
+        elif kind == "start":
+            state.current = msg[1]
+            state.started = time.monotonic()
+        elif kind == "groupdone":
+            state.group = None
+            state.current = None
+        elif kind == "fatal":
+            failure = f"sweep worker failed:\n{msg[1]}"
+        else:  # "exit"
+            state.finished = True
+
+    def drain(state: _WorkerState) -> None:
+        """Pump every message the worker has delivered so far.
+
+        A pipe torn mid-write by a dying worker can raise on ``recv``
+        (EOF, OSError, or an unpickling error); the worker is then marked
+        broken and reaped on the next liveness check.
+        """
+        while not state.broken:
             try:
-                msg = out.get(timeout=_POLL_SECONDS)
-            except queue_mod.Empty:
-                dead = [i for i, w in enumerate(workers)
-                        if not w.is_alive() and w.exitcode not in (0, None)]
-                if dead:
-                    raise SimulationError(
-                        f"sweep worker(s) {dead} died "
-                        f"(exit codes {[workers[i].exitcode for i in dead]})")
+                if not state.conn.poll():
+                    return
+                msg = state.conn.recv()
+            except Exception:
+                state.broken = True
+                return
+            handle(state, msg)
+
+    def dispatch() -> None:
+        for state in workers.values():
+            if not group_queue:
+                return
+            if state.group is None and not state.broken and not state.finished:
+                gid = group_queue.popleft()
+                try:
+                    state.conn.send(("run", gid, groups_by_id[gid]))
+                except Exception:
+                    state.broken = True
+                    group_queue.appendleft(gid)
+                    continue
+                state.group = gid
+
+    def reap_dead_workers() -> None:
+        nonlocal respawns_used, next_gid, failure
+        for wid, state in list(workers.items()):
+            if not state.broken and state.proc.is_alive():
                 continue
-            if msg[0] == "ok":
-                doc = msg[1]
-                records[doc["key"]] = doc
-                if store is not None:
-                    store.append(doc)
-                if log is not None:
-                    log(f"[{doc['workload']}]" + _cell_log_line(doc))
-            elif msg[0] == "error":
-                failure = msg[2]
-            else:  # "exit"
-                exited += 1
+            # dead: crash, OOM-kill, or our timeout kill below — salvage
+            # results still buffered in its pipe, then its in-flight group
+            workers.pop(wid)
+            drain(state)
+            state.conn.close()
+            state.proc.join(timeout=5.0)
+            reaped.append(state)
+            crashed = state.current if state.current in outstanding else None
+            requeue = []
+            if state.group is not None:
+                requeue = [c for c in groups_by_id[state.group]
+                           if c.key() in outstanding]
+            if crashed is not None:
+                attempts[crashed] = attempts.get(crashed, 0) + 1
+                if attempts[crashed] >= _MAX_CELL_ATTEMPTS:
+                    record_failure(_error_doc(
+                        outstanding[crashed], "WorkerCrashed",
+                        f"worker died {attempts[crashed]} times running "
+                        f"this cell (last exit code {state.proc.exitcode})"))
+                    requeue = [c for c in requeue if c.key() != crashed]
+            if state.finished and not requeue:
+                continue  # clean shutdown, nothing lost
+            if log is not None:
+                log(f"worker {wid} died (exit code {state.proc.exitcode}); "
+                    f"requeueing {len(requeue)} unfinished cell(s)")
+            if requeue:
+                groups_by_id[next_gid] = requeue
+                group_queue.append(next_gid)
+                next_gid += 1
+            if respawns_used < max_respawns and outstanding:
+                respawns_used += 1
+                spawn()
+            if not workers and outstanding and failure is None:
+                failure = (f"all sweep workers died and the respawn budget "
+                           f"({max_respawns}) is exhausted; "
+                           f"{len(outstanding)} cells unfinished")
+
+    def kill_timed_out_workers() -> None:
+        if cell_timeout is None:
+            return
+        now = time.monotonic()
+        for wid, state in list(workers.items()):
+            if (state.current is not None
+                    and state.current in outstanding
+                    and now - state.started > cell_timeout):
+                cell = outstanding[state.current]
+                state.proc.kill()
+                state.current = None  # failed here, not a crash retry
+                record_failure(_error_doc(
+                    cell, "CellTimeout",
+                    f"cell exceeded the {cell_timeout:g}s cell timeout in "
+                    f"worker {wid}; worker killed"))
+
+    try:
+        while outstanding and failure is None:
+            dispatch()
+            conns = {state.conn: state for state in workers.values()
+                     if not state.broken}
+            for ready in mp_connection.wait(list(conns),
+                                            timeout=_POLL_SECONDS):
+                drain(conns[ready])
+                if failure is not None:
+                    break
+            if failure is not None or not outstanding:
+                break
+            kill_timed_out_workers()
+            reap_dead_workers()
     finally:
-        for w in workers:
-            if w.is_alive():
-                w.terminate()
-        for w in workers:
-            w.join()
+        for state in workers.values():
+            try:
+                state.conn.send(("stop",))
+            except Exception:
+                state.broken = True
+        deadline = time.monotonic() + 5.0
+        for state in workers.values():
+            state.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if state.proc.is_alive():
+                state.proc.terminate()
+                state.proc.join()
+            state.conn.close()
     if failure is not None:
-        raise SimulationError(f"sweep worker failed:\n{failure}")
+        raise SimulationError(failure)
     return records

@@ -17,6 +17,7 @@ from repro.topology.base import Topology
 from repro.topology.bisection import (bisection_bandwidth, bisection_cables,
                                       bisection_per_endpoint)
 from repro.topology.cost import CostModel, overhead_row
+from repro.topology.degraded import DegradedTopology, FaultSet, degrade
 from repro.topology.dragonfly import DragonflyTopology, plan_dragonfly
 from repro.topology.energy import EnergyModel, EnergyReport
 from repro.topology.fattree import FatTreeFabric, FatTreeTopology
@@ -40,7 +41,10 @@ __all__ = [
     "bisection_per_endpoint",
     "EnergyModel",
     "EnergyReport",
+    "DegradedTopology",
+    "FaultSet",
     "VulnerabilityReport",
+    "degrade",
     "failover_coverage",
     "reroute_uplinks",
     "sample_link_failures",

@@ -1,0 +1,270 @@
+"""Degraded-network simulation layer (paper future work: fault tolerance).
+
+:mod:`repro.topology.faults` answers the *static* question — how many pairs
+break when links die.  This module answers the *dynamic* one the paper
+leaves open: how much slower do the topologies actually run on a broken
+machine?  :class:`DegradedTopology` wraps any built topology plus a
+:class:`FaultSet` and presents the full :class:`~repro.topology.base.Topology`
+interface, so the flow engine and the static analyzer simulate a degraded
+network without knowing it — rerouted paths load links exactly like healthy
+routes.
+
+Fault taxonomy (see ``docs/fault-model.md``):
+
+* **failed duplex cables** — both directed links of a network cable die.
+  NIC (injection/consumption) links never fail: a dead NIC is a dead node,
+  a different fault model.
+* **failed uplink ports** (hybrids only) — the upper-tier port of an
+  uplinked endpoint dies; the endpoint itself stays alive and keeps
+  forwarding subtorus traffic.
+
+Rerouting semantics, in order:
+
+1. the topology's deterministic route, when it survives the fault set;
+2. for hybrids with dead uplink ports, the paper-style fail-over of
+   :func:`repro.topology.faults.reroute_uplinks` (nearest surviving uplink
+   of the same subtorus);
+3. a minimal detour — deterministic BFS over the surviving network graph;
+4. :class:`~repro.errors.DegradedNetworkError` naming the disconnected
+   pair when no physical path remains.  Never a silent drop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DegradedNetworkError, TopologyError
+from repro.topology import faults as faults_mod
+from repro.topology.base import Topology
+from repro.topology.hybrid import NestedTopology
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """A reproducible set of injected faults.
+
+    ``failed_links`` holds *directed* link ids, always both directions of
+    each failed cable.  ``failed_uplinks`` holds endpoint ids whose
+    upper-tier port is dead (hybrids only).  ``provenance`` records the
+    ``(cables, uplinks, seed)`` triple when the set was sampled, so sweep
+    checkpoints can fingerprint the faults without storing every id.
+    """
+
+    failed_links: frozenset[int] = frozenset()
+    failed_uplinks: frozenset[int] = frozenset()
+    provenance: tuple[int, int, int] | None = None
+
+    @classmethod
+    def sample(cls, topology: Topology, *, cables: int = 0, uplinks: int = 0,
+               seed: int = 0) -> FaultSet:
+        """Draw ``cables`` failed cables and ``uplinks`` dead uplink ports.
+
+        Reproducible: the same ``(topology, cables, uplinks, seed)`` always
+        yields the same fault set.  Uplink-port faults require a hybrid
+        (:class:`NestedTopology`); other families have no uplink ports.
+        """
+        if cables < 0 or uplinks < 0:
+            raise TopologyError(
+                f"fault counts must be non-negative, got cables={cables}, "
+                f"uplinks={uplinks}")
+        failed_links: frozenset[int] = frozenset()
+        if cables:
+            failed_links = frozenset(
+                faults_mod.sample_link_failures(topology, cables, seed=seed))
+        failed_uplinks: frozenset[int] = frozenset()
+        if uplinks:
+            if not isinstance(topology, NestedTopology):
+                raise TopologyError(
+                    "uplink-port faults only apply to hybrid topologies, "
+                    f"not {topology.name!r}")
+            ports = [s * topology.plan.nodes + local
+                     for s in range(topology.num_subtori)
+                     for local in topology.plan.uplinked]
+            if uplinks > len(ports):
+                raise TopologyError(
+                    f"cannot fail {uplinks} uplink ports; only "
+                    f"{len(ports)} exist")
+            # independent sub-stream so cable and port draws never collide
+            rng = np.random.default_rng([seed, 0xFA])
+            chosen = rng.choice(len(ports), size=uplinks, replace=False)
+            failed_uplinks = frozenset(ports[int(i)] for i in chosen)
+        return cls(failed_links, failed_uplinks, (cables, uplinks, seed))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.failed_links or self.failed_uplinks)
+
+    def fingerprint(self) -> dict:
+        """Checkpoint-stable description of this fault set."""
+        if self.provenance is not None:
+            cables, uplinks, seed = self.provenance
+            return {"cables": cables, "uplinks": uplinks, "seed": seed}
+        return {"links": sorted(self.failed_links),
+                "uplink_ports": sorted(self.failed_uplinks)}
+
+    def describe(self) -> str:
+        return (f"{len(self.failed_links) // 2} failed cables, "
+                f"{len(self.failed_uplinks)} dead uplink ports")
+
+
+class DegradedTopology(Topology):
+    """A topology with injected faults, routed around where possible.
+
+    Shares the base topology's frozen link table instead of building a new
+    one, so link ids — and therefore engine capacity vectors, route caches
+    and static link-load reports — stay directly comparable with the
+    healthy machine.  Unknown attributes delegate to the base topology
+    (``subtorus_of``, ``plan``, ... keep working on wrapped hybrids).
+    """
+
+    def __init__(self, base: Topology, faults: FaultSet) -> None:
+        if isinstance(base, DegradedTopology):
+            raise TopologyError(
+                "cannot wrap an already-degraded topology; merge the fault "
+                "sets instead")
+        # deliberately not calling Topology.__init__: the wrapper borrows
+        # the base's finalized link table rather than constructing one
+        self.base = base
+        self.faults = faults
+        self.name = f"{base.name}+faults"
+        self.num_endpoints = base.num_endpoints
+        self.num_switches = base.num_switches
+        self.link_capacity = base.link_capacity
+        self.nic_capacity = base.nic_capacity
+        self.links = base.links
+        self._inj = base.injection_links
+        self._cons = base.consumption_links
+        self._adjacency: list[list[int]] | None = None
+        self._validate()
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        nic_base = self.num_endpoints + self.num_switches
+        for lid in self.faults.failed_links:
+            u, v = self.links.endpoints_of(lid)  # raises on unknown ids
+            if u >= nic_base or v >= nic_base:
+                raise TopologyError(
+                    f"failed link {lid} is a NIC link; NIC faults are a "
+                    f"different model (dead node)")
+            if self.links.id_of(v, u) not in self.faults.failed_links:
+                raise TopologyError(
+                    f"failed link {lid} ({u}->{v}) without its reverse; "
+                    f"cables fail as whole duplex pairs")
+        if self.faults.failed_uplinks:
+            if not isinstance(self.base, NestedTopology):
+                raise TopologyError(
+                    "uplink-port faults only apply to hybrid topologies")
+            for e in self.faults.failed_uplinks:
+                s, local = divmod(e, self.base.plan.nodes)
+                if not (0 <= e < self.num_endpoints
+                        and local in self.base.plan.uplink_rank):
+                    raise TopologyError(
+                        f"endpoint {e} has no uplink port to fail")
+
+    # ---------------------------------------------------------------- routing
+    def vertex_path(self, src: int, dst: int) -> list[int]:
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        path = self.base.vertex_path(src, dst)
+        if self._walk_survives(path):
+            return path
+        # hybrids first try the paper's uplink fail-over mechanism
+        if (self.faults.failed_uplinks
+                and isinstance(self.base, NestedTopology)):
+            try:
+                rerouted = faults_mod.reroute_uplinks(
+                    self.base, src, dst, set(self.faults.failed_uplinks))
+            except TopologyError:
+                rerouted = None
+            if rerouted is not None and self._walk_survives(rerouted):
+                return rerouted
+        # minimal detour over whatever physically survives
+        detour = self._detour(src, dst)
+        if detour is None:
+            raise DegradedNetworkError([(src, dst)],
+                                       faults=self.faults.describe())
+        return detour
+
+    def _walk_survives(self, path: list[int]) -> bool:
+        """True when the walk avoids failed cables and dead uplink ports."""
+        failed = self.faults.failed_links
+        dead_ports = self.faults.failed_uplinks
+        ep = self.num_endpoints
+        for a, b in zip(path, path[1:]):
+            if self.links.id_of(a, b) in failed:
+                return False
+            if dead_ports:
+                # entering/leaving the upper tier through a dead port
+                if (a < ep <= b and a in dead_ports) or \
+                        (b < ep <= a and b in dead_ports):
+                    return False
+        return True
+
+    def _surviving_adjacency(self) -> list[list[int]]:
+        """Adjacency over endpoints+switches, failed hops removed.
+
+        Neighbour lists are sorted so the BFS detour is deterministic.
+        Built lazily once — healthy routes never pay for it.
+        """
+        if self._adjacency is None:
+            n = self.num_endpoints + self.num_switches
+            ep = self.num_endpoints
+            failed = self.faults.failed_links
+            dead_ports = self.faults.failed_uplinks
+            adj: list[list[int]] = [[] for _ in range(n)]
+            for lid, (u, v) in enumerate(zip(self.links.sources,
+                                             self.links.destinations)):
+                if u >= n or v >= n:
+                    continue  # NIC link
+                if lid in failed:
+                    continue
+                if (u < ep <= v and u in dead_ports) or \
+                        (v < ep <= u and v in dead_ports):
+                    continue
+                adj[u].append(v)
+            for neighbours in adj:
+                neighbours.sort()
+            self._adjacency = adj
+        return self._adjacency
+
+    def _detour(self, src: int, dst: int) -> list[int] | None:
+        """Deterministic shortest surviving walk, or ``None`` if cut off."""
+        adj = self._surviving_adjacency()
+        parent = {src: src}
+        frontier = deque([src])
+        while frontier:
+            vertex = frontier.popleft()
+            if vertex == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                return path[::-1]
+            for neighbour in adj[vertex]:
+                if neighbour not in parent:
+                    parent[neighbour] = vertex
+                    frontier.append(neighbour)
+        return None
+
+    # ------------------------------------------------------------- inspection
+    def describe(self) -> str:
+        return f"{self.base.describe()} [degraded: {self.faults.describe()}]"
+
+    def __getattr__(self, name: str):
+        # only reached when normal lookup fails; delegates hybrid helpers
+        # (subtorus_of, plan, fabric, ...) to the wrapped topology
+        if name.startswith("_") or "base" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.base, name)
+
+
+def degrade(topology: Topology, *, cables: int = 0, uplinks: int = 0,
+            seed: int = 0) -> Topology:
+    """Wrap ``topology`` with sampled faults; identity when both counts are 0."""
+    if not cables and not uplinks:
+        return topology
+    return DegradedTopology(
+        topology, FaultSet.sample(topology, cables=cables, uplinks=uplinks,
+                                  seed=seed))

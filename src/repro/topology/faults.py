@@ -25,10 +25,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import TopologyError
+from repro.errors import ReproError, TopologyError
 from repro.routing import dor
 from repro.topology.base import Topology
 from repro.topology.hybrid import NestedTopology
+
+
+def _require_networkx(purpose: str = "fault analysis"):
+    """Import networkx or fail fast with an actionable message.
+
+    networkx is an optional extra: only the static fault *analysis* and
+    the jellyfish comparator need it (the dynamic degraded-routing layer
+    in :mod:`repro.topology.degraded` does not).  Failing here, before
+    any sampling work, beats an ``ImportError`` surfacing deep inside the
+    pair loop.
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:
+        raise ReproError(
+            f"install networkx for {purpose} "
+            f"(pip install 'repro[faults]')") from exc
+    return nx
 
 
 @dataclass(frozen=True)
@@ -92,7 +110,7 @@ def route_survives(topology: Topology, src: int, dst: int,
 def vulnerability(topology: Topology, failed_links: set[int], *,
                   pairs: int = 1000, seed: int = 0) -> VulnerabilityReport:
     """Sampled broken-pair fraction under a set of failed links."""
-    import networkx as nx
+    nx = _require_networkx()
 
     n = topology.num_endpoints
     rng = np.random.default_rng(seed)

@@ -13,8 +13,6 @@ practicality drawback the paper points out.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro.errors import RoutingError, TopologyError
 from repro.topology.base import Topology
 from repro.units import DEFAULT_LINK_CAPACITY
@@ -42,6 +40,10 @@ class JellyfishTopology(Topology):
         self.seed = seed
         self._switch_offset = self.num_endpoints
 
+        # networkx is an optional extra; only constructing a jellyfish
+        # (sampling the random regular graph) needs it
+        from repro.topology.faults import _require_networkx
+        nx = _require_networkx("the jellyfish comparator")
         graph = nx.random_regular_graph(degree, num_switches, seed=seed)
         if not nx.is_connected(graph):  # rare at these degrees; re-seed
             for retry in range(1, 64):

@@ -54,6 +54,33 @@ class TestFigures:
         assert "Figure 4" in capsys.readouterr().out
 
 
+class TestResilience:
+    def test_slowdown_table(self, capsys, tmp_path):
+        out_file = tmp_path / "res.csv"
+        assert main(["resilience", "--endpoints", "64",
+                     "--workload", "reduce",
+                     "--topologies", "torus", "fattree",
+                     "--fail-links", "0", "2", "--fail-seed", "1",
+                     "--quiet", "--keep-going",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience sweep: reduce @ 64 endpoints" in out
+        assert "links=0" in out and "links=2" in out
+        assert "torus" in out and "fattree" in out
+        assert "1.00x" in out  # each family's healthy run is its baseline
+        assert "2c+0u@s1" in out_file.read_text()
+
+    def test_disconnected_cell_shows_as_failed(self, capsys):
+        # t=2,u=8 leaves one uplink per subtorus, so a single dead uplink
+        # port disconnects the upper fabric: the cell must surface as
+        # "failed", not abort the sweep or silently vanish
+        assert main(["resilience", "--endpoints", "64",
+                     "--workload", "reduce", "--topologies", "nesttree",
+                     "--fail-links", "0", "--fail-uplinks", "1",
+                     "--quiet", "--keep-going"]) == 0
+        assert "failed" in capsys.readouterr().out
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -119,6 +146,44 @@ class TestInputValidation:
                                    "--jobs", "0"])
         assert "--jobs" in err
 
+    def test_negative_fail_links(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "64",
+                                   "--fail-links", "-1"])
+        assert "--fail-links" in err and ">= 0" in err
+
+    def test_negative_fail_links_in_sweep_list(self, capsys):
+        err = self._error(capsys, ["resilience", "--endpoints", "64",
+                                   "--workload", "reduce",
+                                   "--fail-links", "0", "4", "-2"])
+        assert "--fail-links" in err and "-2" in err
+
+    def test_negative_fail_uplinks(self, capsys):
+        err = self._error(capsys, ["fig4", "--endpoints", "64",
+                                   "--fail-uplinks", "-1"])
+        assert "--fail-uplinks" in err
+
+    def test_negative_fail_seed(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "64",
+                                   "--fail-seed", "-3"])
+        assert "--fail-seed" in err
+
+    def test_zero_cell_timeout(self, capsys):
+        err = self._error(capsys, ["fig5", "--endpoints", "64",
+                                   "--cell-timeout", "0"])
+        assert "--cell-timeout" in err and "positive" in err
+
+    def test_unknown_resilience_workload(self, capsys):
+        err = self._error(capsys, ["resilience", "--endpoints", "64",
+                                   "--workload", "nope"])
+        assert "unknown workload 'nope'" in err
+
+    def test_unknown_resilience_family(self, capsys):
+        err = self._error(capsys, ["resilience", "--endpoints", "64",
+                                   "--workload", "reduce",
+                                   "--topologies", "hypercube"])
+        assert "unknown topology family 'hypercube'" in err
+        assert "nesttree" in err  # choices listed
+
 
 class TestSweepFlags:
     def test_fig5_with_jobs_and_checkpoint(self, capsys, tmp_path):
@@ -128,6 +193,16 @@ class TestSweepFlags:
                      "--checkpoint", str(ck)]) == 0
         assert "== reduce ==" in capsys.readouterr().out
         assert ck.read_text().startswith('{"magic"')
+
+    def test_fig5_with_fault_injection(self, capsys, tmp_path):
+        out_file = tmp_path / "fig.csv"
+        # --fail-seed 1 keeps every family connected at 64 endpoints;
+        # --keep-going guards against a disconnecting draw regardless
+        assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
+                     "--quiet", "--fail-links", "2", "--fail-seed", "1",
+                     "--keep-going", "--out", str(out_file)]) == 0
+        assert "== reduce ==" in capsys.readouterr().out
+        assert "2c+0u@s1" in out_file.read_text()
 
     def test_fig5_resume_from_checkpoint(self, capsys, tmp_path):
         ck = tmp_path / "ck.jsonl"

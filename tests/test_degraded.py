@@ -1,0 +1,219 @@
+"""Tests for the degraded-network simulation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import analyze, simulate
+from repro.errors import DegradedNetworkError, TopologyError
+from repro.topology import (DegradedTopology, FaultSet, NestTree,
+                            TorusTopology, available, build, degrade)
+from repro.workloads import build as build_workload
+
+#: One buildable instance per registered topology family.
+FAMILY_SIZES = {"torus": 64, "fattree": 64, "thintree": 64, "ghc": 64,
+                "nesttree": 64, "nestghc": 64, "dragonfly": 72,
+                "jellyfish": 64}
+FAMILY_PARAMS = {"nesttree": {"t": 2, "u": 2}, "nestghc": {"t": 2, "u": 2}}
+
+_built: dict[str, object] = {}
+_fault_sets: dict[tuple, FaultSet] = {}
+
+
+def built(family):
+    if family not in _built:
+        _built[family] = build(family, FAMILY_SIZES[family],
+                               **FAMILY_PARAMS.get(family, {}))
+    return _built[family]
+
+
+def fault_set(family, cables, seed):
+    key = (family, cables, seed)
+    if key not in _fault_sets:
+        _fault_sets[key] = FaultSet.sample(built(family), cables=cables,
+                                           seed=seed)
+    return _fault_sets[key]
+
+
+def test_every_family_is_covered():
+    assert set(FAMILY_SIZES) == set(available())
+
+
+class TestFaultSet:
+    def test_sampling_is_reproducible(self):
+        topo = built("nesttree")
+        a = FaultSet.sample(topo, cables=4, uplinks=2, seed=7)
+        b = FaultSet.sample(topo, cables=4, uplinks=2, seed=7)
+        assert a.failed_links == b.failed_links
+        assert a.failed_uplinks == b.failed_uplinks
+        assert a.fingerprint() == {"cables": 4, "uplinks": 2, "seed": 7}
+
+    def test_cables_fail_both_directions(self):
+        topo = built("torus")
+        fs = FaultSet.sample(topo, cables=5, seed=1)
+        for lid in fs.failed_links:
+            u, v = topo.links.endpoints_of(lid)
+            assert topo.links.id_of(v, u) in fs.failed_links
+
+    def test_uplink_faults_require_a_hybrid(self):
+        with pytest.raises(TopologyError, match="hybrid"):
+            FaultSet.sample(built("torus"), uplinks=1)
+
+    def test_uplink_faults_pick_uplinked_endpoints(self):
+        topo = built("nesttree")
+        fs = FaultSet.sample(topo, uplinks=3, seed=2)
+        assert len(fs.failed_uplinks) == 3
+        for e in fs.failed_uplinks:
+            _, local = divmod(e, topo.plan.nodes)
+            assert local in topo.plan.uplink_rank
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TopologyError, match="non-negative"):
+            FaultSet.sample(built("torus"), cables=-1)
+
+    def test_explicit_set_fingerprints_by_ids(self):
+        topo = built("torus")
+        u, v = topo.links.endpoints_of(0)
+        fs = FaultSet(frozenset({0, topo.links.id_of(v, u)}))
+        fp = fs.fingerprint()
+        assert sorted(fp["links"]) == fp["links"]
+        assert "cables" not in fp
+
+
+class TestWrapperConstruction:
+    def test_degrade_identity_when_healthy(self):
+        topo = built("torus")
+        assert degrade(topo) is topo
+
+    def test_shares_link_table_and_nic_links(self):
+        topo = built("fattree")
+        deg = degrade(topo, cables=2, seed=0)
+        assert deg.links is topo.links
+        assert np.array_equal(deg.injection_links, topo.injection_links)
+        assert np.array_equal(deg.consumption_links, topo.consumption_links)
+
+    def test_rejects_nic_link_faults(self):
+        topo = built("torus")
+        nic = int(topo.injection_links[0])
+        with pytest.raises(TopologyError, match="NIC"):
+            DegradedTopology(topo, FaultSet(frozenset({nic})))
+
+    def test_rejects_half_cables(self):
+        topo = built("torus")
+        with pytest.raises(TopologyError, match="reverse"):
+            DegradedTopology(topo, FaultSet(frozenset({0})))
+
+    def test_rejects_stacked_wrappers(self):
+        deg = degrade(built("torus"), cables=1, seed=0)
+        with pytest.raises(TopologyError, match="already-degraded"):
+            DegradedTopology(deg, FaultSet())
+
+    def test_delegates_hybrid_helpers(self):
+        topo = built("nesttree")
+        deg = degrade(topo, cables=1, seed=0)
+        assert deg.subtorus_of(9) == topo.subtorus_of(9)
+        assert deg.plan is topo.plan
+        assert "degraded" in deg.describe()
+
+
+class TestDegradedRouting:
+    """Acceptance: for every family, every routed flow avoids every failed
+    link, or the disconnected pair is named — no silent fallthrough."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(family=st.sampled_from(sorted(FAMILY_SIZES)),
+           seed=st.integers(0, 7), cables=st.integers(1, 5),
+           draw=st.integers(0, 10_000))
+    def test_route_never_traverses_a_failed_link(self, family, seed,
+                                                 cables, draw):
+        topo = built(family)
+        deg = DegradedTopology(topo, fault_set(family, cables, seed))
+        n = topo.num_endpoints
+        src = draw % n
+        dst = (draw // n) % n
+        if src == dst:
+            dst = (dst + 1) % n
+        try:
+            route = deg.route(src, dst)
+        except DegradedNetworkError as exc:
+            assert (src, dst) in exc.pairs
+            return
+        assert not set(route) & deg.faults.failed_links
+        # NIC links still bracket the path, like any healthy route
+        assert route[0] == int(topo.injection_links[src])
+        assert route[-1] == int(topo.consumption_links[dst])
+
+    def test_routing_is_deterministic(self):
+        a = degrade(built("ghc"), cables=4, seed=3)
+        b = degrade(built("ghc"), cables=4, seed=3)
+        for src, dst in [(0, 63), (5, 40), (63, 1)]:
+            try:
+                route_a = a.route(src, dst)
+            except DegradedNetworkError:
+                with pytest.raises(DegradedNetworkError):
+                    b.route(src, dst)
+                continue
+            assert route_a == b.route(src, dst)
+
+    def test_hybrid_reroutes_around_dead_uplink_port(self):
+        topo = NestTree(64, 2, 2)
+        src, dst = 1, 63
+        dead = topo.designated_uplink(src)
+        deg = DegradedTopology(topo, FaultSet(failed_uplinks=frozenset({dead})))
+        path = deg.vertex_path(src, dst)
+        switch_lo = topo.num_endpoints
+        for a, b in zip(path, path[1:]):
+            assert not (a == dead and b >= switch_lo)
+            assert not (b == dead and a >= switch_lo)
+        assert path[0] == src and path[-1] == dst
+
+    def test_disconnected_pair_is_named(self):
+        topo = TorusTopology((4, 4))
+        nic_base = topo.num_endpoints + topo.num_switches
+        cut = frozenset(
+            lid for lid in range(topo.links.num_links)
+            if 0 in topo.links.endpoints_of(lid)
+            and max(topo.links.endpoints_of(lid)) < nic_base)
+        deg = DegradedTopology(topo, FaultSet(cut))
+        with pytest.raises(DegradedNetworkError) as exc:
+            deg.route(0, 5)
+        assert (0, 5) in exc.value.pairs
+        assert "0->5" in str(exc.value)
+        # the rest of the machine still routes
+        assert deg.route(1, 5)
+
+    def test_detour_is_minimal_on_the_surviving_graph(self):
+        topo = TorusTopology((4, 4))
+        # fail one cable on the deterministic route 0 -> 1
+        lid = topo.links.id_of(0, 1)
+        rev = topo.links.id_of(1, 0)
+        deg = DegradedTopology(topo, FaultSet(frozenset({lid, rev})))
+        path = deg.vertex_path(0, 1)
+        # 0 and 1 share no neighbour in a (4,4) torus, so the shortest
+        # surviving walk is exactly 3 hops (e.g. back around the x ring)
+        assert len(path) == 4
+        assert path[0] == 0 and path[-1] == 1
+
+
+class TestDegradedSimulation:
+    def test_simulation_and_static_loads_avoid_failed_links(self):
+        topo = built("nesttree")
+        deg = degrade(topo, cables=3, uplinks=1, seed=0)
+        flows = build_workload("allreduce", 64).build()
+        result = simulate(deg, flows)
+        assert result.makespan > 0
+        report = analyze(deg, flows)
+        for lid in deg.faults.failed_links:
+            assert report.loads[lid] == 0.0
+        # tier breakdown still recognises the wrapped hybrid
+        assert "upper_fabric" in report.tier_loads
+
+    def test_degradation_typically_costs_makespan(self):
+        topo = built("torus")
+        flows = build_workload("allreduce", 64).build()
+        healthy = simulate(topo, flows).makespan
+        degraded = simulate(degrade(topo, cables=6, seed=1), flows).makespan
+        assert degraded >= healthy

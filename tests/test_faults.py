@@ -68,6 +68,29 @@ class TestVulnerability:
         assert route_survives(hybrid, 0, 63, set())
 
 
+class TestOptionalNetworkx:
+    def test_vulnerability_fails_fast_without_networkx(self, hybrid,
+                                                       monkeypatch):
+        import sys
+
+        from repro.errors import ReproError
+
+        # None in sys.modules makes `import networkx` raise ImportError
+        monkeypatch.setitem(sys.modules, "networkx", None)
+        with pytest.raises(ReproError, match=r"install networkx.*faults"):
+            vulnerability(hybrid, set(), pairs=10)
+
+    def test_jellyfish_fails_fast_without_networkx(self, monkeypatch):
+        import sys
+
+        from repro.errors import ReproError
+        from repro.topology import build
+
+        monkeypatch.setitem(sys.modules, "networkx", None)
+        with pytest.raises(ReproError, match="install networkx"):
+            build("jellyfish", 64)
+
+
 class TestUplinkFailover:
     def test_healthy_path_unchanged(self, hybrid):
         assert reroute_uplinks(hybrid, 0, 63, set()) == \

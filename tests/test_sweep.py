@@ -9,7 +9,7 @@ import pytest
 from repro.core import DesignSpaceExplorer
 from repro.errors import ConfigError, SimulationError
 from repro.sweep import SweepCheckpoint, run_sweep
-from repro.sweep.runner import _partition
+from repro.sweep.runner import _group_cells
 
 ENDPOINTS = 64
 WORKLOADS = ["reduce", "allreduce"]
@@ -135,28 +135,22 @@ class TestRunnerGuards:
             run_sweep(plan, jobs=0)
 
 
-class TestPartition:
+class TestGroupCells:
     def test_groups_cover_all_cells_without_splitting(self):
         plan = make_explorer().plan(WORKLOADS)
-        buckets = _partition(list(plan.cells), 4)
-        assert len(buckets) == 4
+        groups = _group_cells(list(plan.cells))
         seen = []
-        for bucket in buckets:
-            for _, cells in bucket:
-                labels = {c.topology.label() for c in cells}
-                assert len(labels) == 1  # topology groups are never split
-                seen.extend(c.key() for c in cells)
-        assert sorted(seen) == sorted(c.key() for c in plan.cells)
-        # each topology appears in exactly one bucket
         owners: dict[str, int] = {}
-        for i, bucket in enumerate(buckets):
-            for rep, _ in bucket:
-                label = rep.topology.label()
-                assert label not in owners
-                owners[label] = i
+        for i, cells in enumerate(groups):
+            labels = {c.topology.label() for c in cells}
+            assert len(labels) == 1  # topology groups are never split
+            label = labels.pop()
+            assert label not in owners  # one group per topology
+            owners[label] = i
+            seen.extend(c.key() for c in cells)
+        assert sorted(seen) == sorted(c.key() for c in plan.cells)
 
-    def test_jobs_capped_at_group_count(self):
-        plan = make_explorer(include_baselines=False).plan(["reduce"])
-        groups = {c.topology.label() for c in plan.cells}
-        buckets = _partition(list(plan.cells), 999)
-        assert len(buckets) == len(groups)
+    def test_largest_group_first(self):
+        plan = make_explorer().plan(WORKLOADS)
+        sizes = [len(g) for g in _group_cells(list(plan.cells))]
+        assert sizes == sorted(sizes, reverse=True)

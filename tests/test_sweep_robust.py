@@ -1,0 +1,263 @@
+"""Tests for sweep fault injection and parallel-runner hardening.
+
+The worker-death tests patch ``_run_cell`` in the parent and rely on the
+``fork`` start method to carry the patch into worker processes; they are
+skipped on platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+import repro.sweep.runner as runner_mod
+from repro.core import DesignSpaceExplorer
+from repro.errors import SimulationError
+from repro.sweep import SweepCheckpoint, run_sweep
+
+ENDPOINTS = 64
+#: Small design space (4 hybrids + 2 baselines) to keep these sweeps quick.
+CONFIGS = ((2, 2), (2, 4))
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="worker-death tests need the fork start method")
+
+
+def make_explorer(**kwargs) -> DesignSpaceExplorer:
+    return DesignSpaceExplorer(ENDPOINTS, configs=CONFIGS,
+                               quadratic_tasks=16, seed=0, **kwargs)
+
+
+def fingerprint(table):
+    return [(r.workload, r.topology, r.family, r.t, r.u, r.makespan,
+             r.num_flows, r.events, r.reallocations, r.faults)
+            for r in table.records]
+
+
+def checkpoint_errors(path) -> list[dict]:
+    return [doc for doc in map(json.loads, path.read_text().splitlines()[1:])
+            if "error" in doc]
+
+
+class TestDegradedSweeps:
+    # fail_seed=1: keeps every family connected at this size (seed 0 cuts
+    # a fattree endpoint's only edge link, which is a correct abort)
+    def test_serial_and_parallel_identical_under_faults(self):
+        serial = make_explorer().run(["reduce"], fail_links=2, fail_uplinks=1,
+                                     fail_seed=1)
+        parallel = make_explorer().run(["reduce"], fail_links=2,
+                                       fail_uplinks=1, fail_seed=1, jobs=3)
+        assert fingerprint(serial) == fingerprint(parallel)
+        for r in serial.records:
+            expected = 1 if r.family in ("nesttree", "nestghc") else 0
+            assert r.faults == {"cables": 2, "uplinks": expected, "seed": 1}
+
+    def test_healthy_and_degraded_keys_never_mix(self):
+        healthy = make_explorer().plan(["reduce"])
+        degraded = make_explorer().plan(["reduce"], fail_links=2)
+        healthy_keys = {c.key() for c in healthy.cells}
+        degraded_keys = {c.key() for c in degraded.cells}
+        assert not healthy_keys & degraded_keys
+        assert all("faults(2,0,s0)" in k for k in degraded_keys)
+
+    def test_degraded_resume_ignores_healthy_records(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        make_explorer().run(["reduce"], checkpoint=str(ck))
+        healthy_lines = len(ck.read_text().splitlines())
+        table = make_explorer().run(["reduce"], checkpoint=str(ck),
+                                    resume=True, fail_links=2, fail_seed=1)
+        # every degraded cell ran (appended), none satisfied by healthy rows
+        assert len(ck.read_text().splitlines()) == \
+            healthy_lines + len(table.records)
+        assert all(r.faults for r in table.records)
+
+
+class TestKeepGoing:
+    @pytest.fixture()
+    def poisoned(self, monkeypatch):
+        """Patch one cell (reduce on the torus baseline) to raise."""
+        real = runner_mod._run_cell
+
+        def failing(plan, cell, *args, **kwargs):
+            if cell.topology.family == "torus":
+                raise SimulationError("injected cell failure")
+            return real(plan, cell, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "_run_cell", failing)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_cell_failure_becomes_typed_error_record(self, tmp_path,
+                                                     poisoned, jobs):
+        ck = tmp_path / "sweep.jsonl"
+        table = make_explorer().run(["reduce"], jobs=jobs,
+                                    checkpoint=str(ck), keep_going=True)
+        assert all(r.family != "torus" for r in table.records)
+        errors = checkpoint_errors(ck)
+        assert len(errors) == 1
+        assert errors[0]["topology"] == "torus"
+        assert errors[0]["error"]["type"] == "SimulationError"
+        assert "injected cell failure" in errors[0]["error"]["message"]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_without_keep_going_failure_aborts(self, poisoned, jobs):
+        with pytest.raises(SimulationError, match="injected cell failure"):
+            make_explorer().run(["reduce"], jobs=jobs)
+
+    def test_resume_retries_previously_failed_cells(self, tmp_path,
+                                                    monkeypatch):
+        ck = tmp_path / "sweep.jsonl"
+        real = runner_mod._run_cell
+
+        def failing(plan, cell, *args, **kwargs):
+            if cell.topology.family == "torus":
+                raise SimulationError("injected cell failure")
+            return real(plan, cell, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "_run_cell", failing)
+        partial = make_explorer().run(["reduce"], checkpoint=str(ck),
+                                      keep_going=True)
+        monkeypatch.setattr(runner_mod, "_run_cell", real)
+        full = make_explorer().run(["reduce"], checkpoint=str(ck),
+                                   resume=True)
+        assert len(full.records) == len(partial.records) + 1
+        assert any(r.family == "torus" for r in full.records)
+
+
+@needs_fork
+class TestWorkerDeath:
+    def test_sigkilled_worker_cells_are_requeued(self, tmp_path,
+                                                 monkeypatch):
+        """A SIGKILLed worker must not lose its cells: the sweep requeues
+        them, respawns a replacement, and still returns every record."""
+        flag = tmp_path / "killed-once"
+        real = runner_mod._run_cell
+
+        def kill_once(plan, cell, *args, **kwargs):
+            if cell.topology.family == "fattree" and not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(plan, cell, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "_run_cell", kill_once)
+        table = make_explorer().run(["reduce"], jobs=2)
+        assert flag.exists()  # the kill actually happened
+        monkeypatch.setattr(runner_mod, "_run_cell", real)
+        serial = make_explorer().run(["reduce"])
+        assert fingerprint(table) == fingerprint(serial)
+
+    def test_repeat_crasher_is_marked_failed_with_keep_going(
+            self, tmp_path, monkeypatch):
+        def always_kill(plan, cell, *args, **kwargs):
+            if cell.topology.family == "fattree":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return runner_mod.__dict__["_real_run_cell"](
+                plan, cell, *args, **kwargs)
+
+        monkeypatch.setitem(runner_mod.__dict__, "_real_run_cell",
+                            runner_mod._run_cell)
+        monkeypatch.setattr(runner_mod, "_run_cell", always_kill)
+        ck = tmp_path / "sweep.jsonl"
+        table = make_explorer().run(["reduce"], jobs=2, checkpoint=str(ck),
+                                    keep_going=True)
+        assert all(r.family != "fattree" for r in table.records)
+        errors = checkpoint_errors(ck)
+        assert len(errors) == 1
+        assert errors[0]["error"]["type"] == "WorkerCrashed"
+
+    def test_cell_timeout_kills_stuck_worker(self, tmp_path, monkeypatch):
+        real = runner_mod._run_cell
+
+        def stuck(plan, cell, *args, **kwargs):
+            if cell.topology.family == "fattree":
+                time.sleep(60)
+            return real(plan, cell, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "_run_cell", stuck)
+        ck = tmp_path / "sweep.jsonl"
+        t0 = time.monotonic()
+        table = make_explorer().run(["reduce"], jobs=2, checkpoint=str(ck),
+                                    keep_going=True, cell_timeout=2.0)
+        assert time.monotonic() - t0 < 50  # killed, not waited out
+        assert all(r.family != "fattree" for r in table.records)
+        errors = checkpoint_errors(ck)
+        assert len(errors) == 1
+        assert errors[0]["error"]["type"] == "CellTimeout"
+
+
+class TestSerialTimeout:
+    def test_serial_timeout_is_flagged_post_hoc(self, tmp_path, monkeypatch):
+        real = runner_mod._run_cell
+
+        def slow(plan, cell, *args, **kwargs):
+            doc = real(plan, cell, *args, **kwargs)
+            if cell.topology.family == "torus":
+                doc["wall_seconds"] = 99.0
+            return doc
+
+        monkeypatch.setattr(runner_mod, "_run_cell", slow)
+        ck = tmp_path / "sweep.jsonl"
+        table = make_explorer().run(["reduce"], checkpoint=str(ck),
+                                    keep_going=True, cell_timeout=10.0)
+        assert all(r.family != "torus" for r in table.records)
+        assert checkpoint_errors(ck)[0]["error"]["type"] == "CellTimeout"
+
+
+class TestCheckpointHardening:
+    META = {"endpoints": ENDPOINTS, "fidelity": "approx", "seed": 0}
+
+    def write(self, path, body_lines):
+        header = json.dumps({"magic": "repro-sweep-v1", "meta": self.META})
+        path.write_text("\n".join([header, *body_lines]) + "\n")
+
+    def good_record(self, key="reduce@all|torus"):
+        return {"key": key, "workload": "reduce", "topology": "torus",
+                "family": "torus", "t": None, "u": None, "faults": None,
+                "makespan": 1.0, "num_flows": 2, "events": 3,
+                "reallocations": 4, "wall_seconds": 0.1}
+
+    def test_mid_file_corruption_is_skipped_and_counted(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        self.write(ck, [
+            json.dumps(self.good_record("a")),
+            '{"key": "torn-mid-file", "makespa',       # torn mid-file
+            json.dumps({"key": "b", "workload": "reduce"}),  # schema-invalid
+            json.dumps({"no_key": True}),              # schema-invalid
+            json.dumps(self.good_record("c")),
+        ])
+        messages = []
+        store = SweepCheckpoint(ck, self.META)
+        records = store.load(log=messages.append)
+        assert set(records) == {"a", "c"}
+        assert len(messages) == 1 and "skipped 3" in messages[0]
+
+    def test_error_records_load_as_schema_valid(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        err = {"key": "e", "workload": "reduce", "topology": "torus",
+               "faults": None,
+               "error": {"type": "CellTimeout", "message": "too slow"}}
+        self.write(ck, [json.dumps(err)])
+        store = SweepCheckpoint(ck, self.META)
+        assert store.load() == {"e": err}
+
+    def test_silent_without_log_sink(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        self.write(ck, ["garbage"])
+        assert SweepCheckpoint(ck, self.META).load() == {}
+
+
+class TestRunnerGuards:
+    def test_bad_cell_timeout_rejected(self):
+        plan = make_explorer().plan(["reduce"])
+        with pytest.raises(SimulationError, match="cell_timeout"):
+            run_sweep(plan, cell_timeout=0)
+
+    def test_bad_max_respawns_rejected(self):
+        plan = make_explorer().plan(["reduce"])
+        with pytest.raises(SimulationError, match="max_respawns"):
+            run_sweep(plan, max_respawns=-1)
