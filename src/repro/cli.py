@@ -7,9 +7,13 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro fig4 --endpoints 4096 --out fig4.csv --jobs 4 --checkpoint f4.jsonl
     repro fig5 --endpoints 4096 --jobs 4 --checkpoint f5.jsonl --resume
     repro run --topology nesttree --t 2 --u 4 --workload allreduce
+    repro profile allreduce nesttree --t 2 --u 4   # tier/timing tables
     repro resilience --endpoints 4096 --workload allreduce \
         --fail-links 0 4 16 64 --jobs 4   # makespan vs failed cables
     repro info
+
+The sweep commands accept ``--metrics PATH`` to stream one observability
+record per cell to a JSONL file (see ``docs/observability.md``).
 
 Dynamic experiments (fig4/fig5/run) default to a scaled-down system; the
 static analyses (table1/table2) run at any scale including the paper's
@@ -60,6 +64,11 @@ def _add_sweep(p: argparse.ArgumentParser) -> None:
                    help="wall-clock cap per sweep cell (parallel workers "
                         "stuck past it are killed and the cell marked "
                         "failed)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="instrument every cell and stream one "
+                        "schema-versioned metrics record per cell to this "
+                        "JSONL file (tier link accounting, allocator stats, "
+                        "timers; see docs/observability.md)")
 
 
 def _add_faults(p: argparse.ArgumentParser, *, many_links: bool) -> None:
@@ -125,6 +134,19 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--fidelity", choices=("exact", "approx"),
                     default="exact")
 
+    pp = sub.add_parser(
+        "profile",
+        help="instrumented single run: tier-utilisation and timing tables")
+    pp.add_argument("workload", help="workload name (see `repro info`)")
+    pp.add_argument("topology",
+                    help="family: torus, fattree, ghc, nesttree, nestghc")
+    _add_common(pp, endpoints=DEFAULT_ENDPOINTS)
+    pp.add_argument("--t", type=int, default=None, help="subtorus side")
+    pp.add_argument("--u", type=int, default=None, help="uplink sparsity")
+    pp.add_argument("--tasks", type=int, default=None)
+    pp.add_argument("--fidelity", choices=("exact", "approx"),
+                    default="exact")
+
     sub.add_parser("info", help="library inventory")
 
     args = parser.parse_args(argv)
@@ -139,6 +161,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_resilience(args)
     elif args.command == "run":
         _run_single(args)
+    elif args.command == "profile":
+        _run_profile(args)
     elif args.command == "info":
         _info()
     return 0
@@ -184,6 +208,15 @@ def _validate(parser: argparse.ArgumentParser,
     if args.command == "run" and args.workload not in available():
         parser.error(f"unknown workload {args.workload!r}; "
                      f"choose from: {', '.join(available())}")
+    if args.command == "profile":
+        from repro.topology import available as topo_available
+
+        if args.workload not in available():
+            parser.error(f"unknown workload {args.workload!r}; "
+                         f"choose from: {', '.join(available())}")
+        if args.topology not in topo_available():
+            parser.error(f"unknown topology family {args.topology!r}; "
+                         f"choose from: {', '.join(topo_available())}")
 
 
 def _validate_faults(parser: argparse.ArgumentParser,
@@ -218,7 +251,8 @@ def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
                          fail_uplinks=args.fail_uplinks,
                          fail_seed=args.fail_seed,
                          keep_going=args.keep_going,
-                         cell_timeout=args.cell_timeout)
+                         cell_timeout=args.cell_timeout,
+                         metrics=args.metrics)
     fig_no = 4 if heavy else 5
     print(figure(table, names,
                  title=f"Figure {fig_no} ({'heavy' if heavy else 'light'} "
@@ -272,7 +306,8 @@ def _run_resilience(args: argparse.Namespace) -> None:
     records = run_sweep(plan, jobs=args.jobs, checkpoint=args.checkpoint,
                         resume=args.resume, log=log,
                         keep_going=args.keep_going,
-                        cell_timeout=args.cell_timeout)
+                        cell_timeout=args.cell_timeout,
+                        metrics_path=args.metrics)
 
     by_cell = {(r.topology, r.faults["cables"] if r.faults else 0): r
                for r in records}
@@ -327,6 +362,34 @@ def _run_single(args: argparse.Namespace) -> None:
     print(topo.describe())
     print(wl.describe())
     print(result.summary())
+
+
+def _run_profile(args: argparse.Namespace) -> None:
+    """Run one instrumented simulation and print its profile tables."""
+    from repro import simulate
+    from repro.mapping.placement import spread_placement
+    from repro.obs import MetricsCollector, profile_report
+    from repro.topology import build as build_topology
+    from repro.workloads import build as build_workload
+
+    params = {}
+    if args.t is not None:
+        params["t"] = args.t
+    if args.u is not None:
+        params["u"] = args.u
+    topo = build_topology(args.topology, args.endpoints, **params)
+    tasks = args.tasks or args.endpoints
+    wl = build_workload(args.workload, tasks, seed=args.seed)
+    placement = None if tasks == args.endpoints \
+        else spread_placement(tasks, args.endpoints)
+    collector = MetricsCollector(topo.links.num_links)
+    result = simulate(topo, wl.build(), placement=placement,
+                      fidelity=args.fidelity, metrics=collector)
+    print(topo.describe())
+    print(wl.describe())
+    print(result.summary())
+    print()
+    print(profile_report(result.metrics))
 
 
 def _info() -> None:

@@ -202,7 +202,8 @@ class DesignSpaceExplorer:
             resume: bool = False,
             fail_links: int = 0, fail_uplinks: int = 0, fail_seed: int = 0,
             keep_going: bool = False,
-            cell_timeout: float | None = None) -> ResultTable:
+            cell_timeout: float | None = None,
+            metrics: str | None = None) -> ResultTable:
         """Simulate every workload on every topology of the design space.
 
         ``jobs`` > 1 fans the sweep out over a process pool (one topology
@@ -212,7 +213,9 @@ class DesignSpaceExplorer:
         identical tables (wall-clock fields aside).  The ``fail_*`` knobs
         run the whole sweep on a degraded network (see :meth:`plan`);
         ``keep_going`` and ``cell_timeout`` harden long sweeps (see
-        :func:`repro.sweep.run_sweep`).
+        :func:`repro.sweep.run_sweep`).  ``metrics`` names a JSONL file
+        that receives one schema-versioned observability record per cell
+        (instrumented engine runs; see ``docs/observability.md``).
         """
         from repro.sweep import run_sweep
 
@@ -226,7 +229,8 @@ class DesignSpaceExplorer:
             plan, jobs=jobs, checkpoint=checkpoint, resume=resume,
             log=self._log if self.progress else None,
             topology_provider=self.topology,
-            keep_going=keep_going, cell_timeout=cell_timeout)
+            keep_going=keep_going, cell_timeout=cell_timeout,
+            metrics_path=metrics)
         table = ResultTable(endpoints=self.endpoints, fidelity=self.fidelity)
         for record in records:
             table.add(record)

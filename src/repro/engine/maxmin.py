@@ -34,7 +34,8 @@ _COUNT_TOL = 1e-9
 
 def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
              capacities: np.ndarray,
-             weights: np.ndarray | None = None) -> np.ndarray:
+             weights: np.ndarray | None = None, *,
+             stats: dict | None = None) -> np.ndarray:
     """(Weighted) max-min fair rates for a batch of flows.
 
     Parameters
@@ -54,6 +55,11 @@ def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
         the "low-level bandwidth scheduling to give priority to critical
         flows" the paper lists as future work.  ``None`` means equal
         weights (classic max-min).
+    stats:
+        Optional out-parameter: when a dict is supplied, the number of
+        progressive-filling iterations (water-level raises) is written to
+        ``stats["iterations"]``.  Used by the observability layer; the
+        default (``None``) adds no work to the loop.
 
     Returns
     -------
@@ -62,6 +68,8 @@ def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
     """
     num_flows = flow_ptr.shape[0] - 1
     if num_flows == 0:
+        if stats is not None:
+            stats["iterations"] = 0
         return np.empty(0, dtype=np.float64)
     if link_entries.shape[0] != flow_ptr[-1]:
         raise SimulationError("flow_ptr does not cover link_entries")
@@ -99,12 +107,14 @@ def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
     rates = np.zeros(num_flows, dtype=np.float64)
     level = 0.0
     remaining_flows = num_flows
+    iterations = 0
 
     for _ in range(num_local + 1):
         if remaining_flows == 0:
             break
         if not active_link.any():
             raise SimulationError("allocation left flows without a bottleneck")
+        iterations += 1
         # raise the water level until the tightest active link saturates
         shares = cap_rem[active_link] / counts[active_link]
         delta = float(shares.min())
@@ -142,6 +152,8 @@ def allocate(link_entries: np.ndarray, flow_ptr: np.ndarray,
 
     if remaining_flows:
         raise SimulationError("allocation left flows without a bottleneck")
+    if stats is not None:
+        stats["iterations"] = iterations
     return rates
 
 

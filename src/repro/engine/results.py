@@ -24,6 +24,10 @@ class SimulationResult:
     reallocations: int
     events: int
     total_bits: float
+    #: Schema-versioned observability snapshot (tier link accounting,
+    #: allocator statistics, span timers) when the run was instrumented
+    #: with a :class:`repro.obs.MetricsCollector`; ``None`` otherwise.
+    metrics: dict | None = None
 
     @property
     def aggregate_throughput(self) -> float:

@@ -24,6 +24,9 @@ count low for the highly symmetric collectives the paper uses.
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.engine.flows import FlowSet
@@ -31,6 +34,9 @@ from repro.engine.maxmin import allocate
 from repro.engine.results import SimulationResult
 from repro.errors import SimulationError
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsCollector
 
 #: Relative tie window for batching completions.
 _TIE_EPS = 1e-9
@@ -48,7 +54,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
              placement: np.ndarray | None = None,
              fidelity: str = "exact",
              max_events: int = 50_000_000,
-             route_cache: dict[tuple[int, int], np.ndarray] | None = None
+             route_cache: dict[tuple[int, int], np.ndarray] | None = None,
+             metrics: MetricsCollector | None = None
              ) -> SimulationResult:
     """Run a workload on a topology and return completion statistics.
 
@@ -73,17 +80,27 @@ def simulate(topology: Topology, flows: FlowSet, *,
         shared between calls.  Routes only depend on the topology, so one
         cache per topology amortises route computation when many workloads
         replay on the same machine (the sweep runner does this).
+    metrics:
+        Optional :class:`repro.obs.MetricsCollector` (sized to this
+        topology's link table).  When supplied, the engine feeds it
+        per-link delivered bits and busy time, allocator statistics, and
+        span timers, and attaches its snapshot as ``result.metrics``.
+        The default (``None``) adds no work to the event loop.
     """
     if fidelity not in _FIDELITIES:
         raise SimulationError(f"fidelity must be one of {_FIDELITIES}")
     placement = _check_placement(topology, flows, placement)
+    collector = metrics
 
     n = flows.num_flows
     if n == 0:
+        snap = collector.snapshot(topology, 0.0) if collector is not None \
+            else None
         return SimulationResult(makespan=0.0, completion_times=np.empty(0),
                                 start_times=np.empty(0),
                                 fidelity=fidelity, num_flows=0,
-                                reallocations=0, events=0, total_bits=0.0)
+                                reallocations=0, events=0, total_bits=0.0,
+                                metrics=snap)
 
     capacities = topology.links.capacities
     remaining = flows.size.copy()
@@ -105,7 +122,13 @@ def simulate(topology: Topology, flows: FlowSet, *,
             return _EMPTY_ROUTE  # co-located tasks: intra-endpoint transfer
         cached = route_cache.get(key)
         if cached is None:
-            cached = np.asarray(topology.route(*key), dtype=np.int64)
+            if collector is None:
+                cached = np.asarray(topology.route(*key), dtype=np.int64)
+            else:
+                t0 = time.perf_counter()
+                cached = np.asarray(topology.route(*key), dtype=np.int64)
+                collector.add_time("route_construction",
+                                   time.perf_counter() - t0)
             route_cache[key] = cached
         return cached
 
@@ -127,6 +150,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
             f, r = stack.pop()
             start[f] = t
             route = route_of(f)
+            if collector is not None:
+                collector.flow_injected(float(flows.size[f]), route.shape[0])
             if route.shape[0]:
                 routes[f] = route
                 out_ids.append(f)
@@ -153,6 +178,7 @@ def simulate(topology: Topology, flows: FlowSet, *,
     reallocations = 0
     churn = len(active)   # everything new -> allocate on first iteration
     alloc_size = 0
+    loop_t0 = time.perf_counter() if collector is not None else 0.0
 
     while completed_count < n:
         if not active:
@@ -165,7 +191,18 @@ def simulate(topology: Topology, flows: FlowSet, *,
             ptr = np.zeros(len(active) + 1, dtype=np.int64)
             np.cumsum([r.shape[0] for r in route_list], out=ptr[1:])
             weights = flows.weight[np.asarray(active)] if weighted else None
-            rates = allocate(entries, ptr, capacities, weights)
+            if collector is None:
+                rates = allocate(entries, ptr, capacities, weights)
+            else:
+                stats: dict = {}
+                t0 = time.perf_counter()
+                rates = allocate(entries, ptr, capacities, weights,
+                                 stats=stats)
+                reason = "forced" if fidelity == "exact" else \
+                    ("initial" if reallocations == 0 else "churn")
+                collector.record_allocation(len(active), stats["iterations"],
+                                            reason,
+                                            time.perf_counter() - t0)
             reallocations += 1
             churn = 0
             alloc_size = len(active)
@@ -173,7 +210,20 @@ def simulate(topology: Topology, flows: FlowSet, *,
         ids = np.asarray(active, dtype=np.int64)
         deadlines = remaining[ids] / rates
         dt = float(deadlines.min())
-        done_mask = deadlines <= dt * (1.0 + _TIE_EPS)
+        if not np.isfinite(dt):
+            # a rate the allocator froze at a numerically-zero level (or a
+            # 0/0 with an already-drained flow) has no defined deadline
+            bad = ids[~np.isfinite(deadlines)]
+            raise SimulationError(
+                f"flow(s) {bad.tolist()[:8]} have a non-finite completion "
+                f"deadline: the allocator froze them at zero rate "
+                f"(fidelity={fidelity!r}, event {events})")
+        # absolute+relative tie window: a pure relative one collapses to a
+        # no-op when dt == 0 (simultaneous zero-size flows would then churn
+        # one event each instead of batching)
+        done_mask = deadlines <= dt + max(dt, 1.0) * _TIE_EPS
+        if collector is not None:
+            collector.account_event([routes[f] for f in active], rates, dt)
         now += dt
         remaining[ids] -= rates * dt
         remaining[ids[done_mask]] = 0.0
@@ -201,6 +251,10 @@ def simulate(topology: Topology, flows: FlowSet, *,
             if released else rates[keep]
         churn += len(done_ids) + len(released)
 
+    snap = None
+    if collector is not None:
+        collector.add_time("event_loop", time.perf_counter() - loop_t0)
+        snap = collector.snapshot(topology, now)
     return SimulationResult(
         makespan=now,
         completion_times=completion,
@@ -210,6 +264,7 @@ def simulate(topology: Topology, flows: FlowSet, *,
         reallocations=reallocations,
         events=events,
         total_bits=flows.total_bits,
+        metrics=snap,
     )
 
 

@@ -19,7 +19,6 @@ from repro.engine.flows import FlowSet
 from repro.engine.results import LinkLoadReport
 from repro.engine.simulator import _check_placement
 from repro.topology.base import Topology
-from repro.topology.hybrid import NestedTopology
 
 
 def analyze(topology: Topology, flows: FlowSet, *,
@@ -49,34 +48,12 @@ def analyze(topology: Topology, flows: FlowSet, *,
 
 
 def _tier_breakdown(topology: Topology, loads: np.ndarray) -> dict[str, float]:
-    """Total bits carried per architectural tier."""
-    # a degraded wrapper shares its base's link table, so the breakdown of
-    # the underlying machine applies verbatim to the rerouted loads
-    topology = getattr(topology, "base", topology)
-    nic_ids = np.concatenate([topology.injection_links,
-                              topology.consumption_links])
-    nic = float(loads[nic_ids].sum())
-    total = float(loads.sum())
+    """Total bits carried per architectural tier.
 
-    out = {"nic": nic}
-    num_ep = topology.num_endpoints
-    srcs = topology.links.sources
-    dsts = topology.links.destinations
-    nic_set = set(nic_ids.tolist())
-
-    if isinstance(topology, NestedTopology):
-        lower = upper = access = 0.0
-        for lid in range(topology.links.num_links):
-            if lid in nic_set:
-                continue
-            u, v = srcs[lid], dsts[lid]
-            if u < num_ep and v < num_ep:
-                lower += loads[lid]
-            elif u >= num_ep and v >= num_ep:
-                upper += loads[lid]
-            else:
-                access += loads[lid]
-        out.update(lower_torus=lower, uplinks=access, upper_fabric=upper)
-    else:
-        out["network"] = total - nic
-    return out
+    Delegates the link classification to the topology's own
+    :meth:`~repro.topology.base.Topology.link_tiers` metadata (a degraded
+    wrapper returns its base machine's, since they share one link table).
+    """
+    names, index = topology.link_tiers()
+    return {name: float(loads[index == i].sum())
+            for i, name in enumerate(names)}

@@ -1,0 +1,30 @@
+"""Observability layer: opt-in metrics, link accounting, profiling hooks.
+
+``repro.obs`` instruments the engine and the sweep without touching their
+defaults: :class:`MetricsCollector` is a pay-only-if-used collector that
+:func:`repro.engine.simulate` feeds when (and only when) one is passed;
+:class:`MetricsStream` turns sweep cells into a schema-versioned JSONL
+stream (the ``--metrics`` CLI flag); :func:`profile_report` renders a
+snapshot as the ``repro profile`` tier-utilisation and timing tables.
+
+See ``docs/observability.md`` for the schema and overhead numbers.
+"""
+
+from repro.obs.metrics import (SCHEMA_VERSION, MetricsCollector,
+                               validate_snapshot)
+from repro.obs.profile import profile_report, tier_table, timing_table
+from repro.obs.stream import (SWEEP_SCHEMA_VERSION, MetricsStream,
+                              validate_metrics_file, validate_record)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SWEEP_SCHEMA_VERSION",
+    "MetricsCollector",
+    "MetricsStream",
+    "profile_report",
+    "tier_table",
+    "timing_table",
+    "validate_metrics_file",
+    "validate_record",
+    "validate_snapshot",
+]

@@ -1,0 +1,141 @@
+"""JSONL metrics stream for sweeps (the ``--metrics out.jsonl`` flag).
+
+One schema-versioned JSON record per sweep cell, written as cells
+complete.  The stream is *regenerated* on every run (opened ``"w"``, never
+appended): on a resumed sweep the parent first replays the metrics already
+stored in the checkpoint's cell records, then streams the freshly computed
+cells — so a kill/resume cycle still ends with exactly one record per
+cell.  Keys are deduplicated at write time, which also absorbs the
+parallel runner's crash-retry deliveries.
+
+Record layout (one line each)::
+
+    {"schema": "repro-sweep-metrics-v1", "key": ..., "workload": ...,
+     "topology": ..., "family": ..., "t": ..., "u": ..., "faults": ...,
+     "makespan": ..., "wall_seconds": ..., "metrics": {<engine snapshot,
+     see repro.obs.metrics.SCHEMA_VERSION>}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.metrics import validate_snapshot
+
+#: Schema tag of each sweep-cell metrics record.
+SWEEP_SCHEMA_VERSION = "repro-sweep-metrics-v1"
+
+_RECORD_FIELDS = frozenset({
+    "schema", "key", "workload", "topology", "makespan", "wall_seconds",
+    "metrics",
+})
+
+
+class MetricsStream:
+    """Write-once-per-cell JSONL sink bound to one sweep run."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self._seen: set[str] = set()
+        self.skipped_no_metrics = 0
+
+    def open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+
+    def write_cell(self, doc: dict) -> bool:
+        """Emit the metrics record for one completed cell document.
+
+        Returns ``False`` (and writes nothing) for error records, cells
+        already written this run, and cells without metrics (e.g. resumed
+        from a checkpoint that was recorded without ``--metrics``) — the
+        last case is counted in :attr:`skipped_no_metrics` so the caller
+        can warn.
+        """
+        if self._fh is None:
+            raise ConfigError("metrics stream is not open")
+        if "error" in doc or doc["key"] in self._seen:
+            return False
+        metrics = doc.get("metrics")
+        if metrics is None:
+            self.skipped_no_metrics += 1
+            return False
+        record = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "key": doc["key"],
+            "workload": doc["workload"],
+            "topology": doc["topology"],
+            "family": doc.get("family"),
+            "t": doc.get("t"),
+            "u": doc.get("u"),
+            "faults": doc.get("faults"),
+            "makespan": doc["makespan"],
+            "wall_seconds": doc["wall_seconds"],
+            "metrics": metrics,
+        }
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        self._seen.add(doc["key"])
+        return True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> MetricsStream:
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def validate_record(doc: dict) -> None:
+    """Raise :class:`~repro.errors.ConfigError` unless ``doc`` is a valid
+    sweep-cell metrics record (wrapper fields plus the nested snapshot)."""
+    if not isinstance(doc, dict):
+        raise ConfigError(f"metrics record must be a dict, got {type(doc)}")
+    if doc.get("schema") != SWEEP_SCHEMA_VERSION:
+        raise ConfigError(
+            f"unknown sweep-metrics schema {doc.get('schema')!r}; "
+            f"expected {SWEEP_SCHEMA_VERSION!r}")
+    missing = _RECORD_FIELDS - doc.keys()
+    if missing:
+        raise ConfigError(f"metrics record missing fields: {sorted(missing)}")
+    if not isinstance(doc["key"], str):
+        raise ConfigError("metrics record key must be a string")
+    validate_snapshot(doc["metrics"])
+
+
+def validate_metrics_file(path: str | os.PathLike) -> int:
+    """Validate every record of a ``--metrics`` JSONL file.
+
+    Returns the number of records; raises on an undecodable line, an
+    invalid record, or a duplicated cell key.  Used by the CI smoke job
+    and the test suite.
+    """
+    seen: set[str] = set()
+    count = 0
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: undecodable metrics line: {exc}"
+                ) from None
+            validate_record(doc)
+            if doc["key"] in seen:
+                raise ConfigError(
+                    f"{path}:{lineno}: duplicate metrics record for cell "
+                    f"{doc['key']!r}")
+            seen.add(doc["key"])
+            count += 1
+    return count

@@ -8,7 +8,11 @@ File format (one JSON document per line):
   ``{"key": "<workload>@<tasks>|<topology>[|faults(...)]", "workload": ...,
   "topology": ..., "family": ..., "t": ..., "u": ..., "faults": ...,
   "makespan": ..., "num_flows": ..., "events": ..., "reallocations": ...,
-  "wall_seconds": ...}`` — or, for a cell that failed under ``keep_going``,
+  "wall_seconds": ...}`` — plus an optional ``"metrics"`` key holding the
+  cell's engine observability snapshot when the sweep ran with
+  ``--metrics`` (extra keys are schema-valid, so checkpoints written with
+  and without metrics interoperate) — or, for a cell that failed under
+  ``keep_going``,
   a typed error record ``{"key": ..., "workload": ..., "topology": ...,
   "faults": ..., "error": {"type": ..., "message": ...}}``.
 

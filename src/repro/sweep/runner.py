@@ -86,6 +86,7 @@ def run_sweep(plan: SweepPlan, *,
               keep_going: bool = False,
               cell_timeout: float | None = None,
               max_respawns: int = DEFAULT_MAX_RESPAWNS,
+              metrics_path: str | os.PathLike | None = None,
               ) -> list[RunRecord]:
     """Execute a sweep plan and return its records in plan order.
 
@@ -126,6 +127,15 @@ def run_sweep(plan: SweepPlan, *,
         Replacement workers the parent may spawn after worker deaths
         before it stops replacing them (surviving workers still drain the
         queue; the sweep only aborts when none remain).
+    metrics_path:
+        Optional JSONL path; enables per-cell engine instrumentation (each
+        cell simulates with a :class:`repro.obs.MetricsCollector`) and
+        streams one schema-versioned metrics record per cell to this file.
+        The file is regenerated every run: on resume, metrics stored in
+        the checkpoint's cell records are replayed first, so a kill/resume
+        cycle still yields exactly one record per cell.  Cells resumed
+        from a checkpoint written *without* metrics have none to replay;
+        they are counted and reported through ``log``.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -154,13 +164,34 @@ def run_sweep(plan: SweepPlan, *,
         log(f"checkpoint {store.path}: {len(plan.cells) - len(pending)} of "
             f"{len(plan.cells)} cells already complete")
 
+    stream = None
+    if metrics_path is not None:
+        from repro.obs import MetricsStream
+
+        stream = MetricsStream(metrics_path)
+        stream.open()
+        # replay metrics of cells already complete in the checkpoint, so
+        # the regenerated file covers the whole plan after a resume
+        for doc in done.values():
+            stream.write_cell(doc)
+        if stream.skipped_no_metrics and log is not None:
+            log(f"metrics {stream.path}: {stream.skipped_no_metrics} resumed "
+                f"cell(s) carry no metrics (checkpoint written without "
+                f"--metrics); they are absent from the metrics file")
+
     failures: dict[str, dict] = {}
-    if jobs == 1:
-        records = _run_serial(plan, pending, store, log, topology_provider,
-                              keep_going, cell_timeout, failures)
-    else:
-        records = _run_parallel(plan, pending, store, log, jobs, keep_going,
-                                cell_timeout, max_respawns, failures)
+    try:
+        if jobs == 1:
+            records = _run_serial(plan, pending, store, log,
+                                  topology_provider, keep_going, cell_timeout,
+                                  failures, stream)
+        else:
+            records = _run_parallel(plan, pending, store, log, jobs,
+                                    keep_going, cell_timeout, max_respawns,
+                                    failures, stream)
+    finally:
+        if stream is not None:
+            stream.close()
 
     by_key = dict(done)
     by_key.update(records)
@@ -209,14 +240,27 @@ def _cell_topology(cell: SweepCell, base: Topology,
 
 def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
               flows_cache: _FlowsCache,
-              route_cache: dict[tuple[int, int], np.ndarray]) -> dict:
-    """Simulate one cell and return its checkpointable record."""
+              route_cache: dict[tuple[int, int], np.ndarray],
+              collect_metrics: bool = False) -> dict:
+    """Simulate one cell and return its checkpointable record.
+
+    With ``collect_metrics`` the cell runs instrumented (fresh
+    :class:`~repro.obs.MetricsCollector` per cell) and the record carries
+    the engine's metrics snapshot under ``"metrics"`` — the checkpoint
+    stores it, so resumed sweeps can replay metrics without re-simulating.
+    """
     flows, placement, _ = _prepare_workload(plan, cell, flows_cache)
+    collector = None
+    if collect_metrics:
+        from repro.obs import MetricsCollector
+
+        collector = MetricsCollector(topology.links.num_links)
     t0 = time.perf_counter()
     result = simulate(topology, flows, placement=placement,
-                      fidelity=plan.fidelity, route_cache=route_cache)
+                      fidelity=plan.fidelity, route_cache=route_cache,
+                      metrics=collector)
     wall = time.perf_counter() - t0
-    return {
+    doc = {
         "key": cell.key(),
         "workload": cell.workload.name,
         "topology": cell.topology.label(),
@@ -230,6 +274,9 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
         "reallocations": result.reallocations,
         "wall_seconds": wall,
     }
+    if result.metrics is not None:
+        doc["metrics"] = result.metrics
+    return doc
 
 
 def _error_doc(cell: SweepCell, error_type: str, message: str) -> dict:
@@ -273,7 +320,9 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
                 log: Callable[[str], None] | None,
                 topology_provider: Callable[..., Topology] | None,
                 keep_going: bool, cell_timeout: float | None,
-                failures: dict[str, dict]) -> dict[str, dict]:
+                failures: dict[str, dict],
+                stream=None) -> dict[str, dict]:
+    collect = stream is not None
     if topology_provider is None:
         topologies: dict[str, Topology] = {}
 
@@ -310,7 +359,8 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
             topo = _cell_topology(cell, topology_provider(cell.topology),
                                   degraded_cache)
             doc = _run_cell(plan, cell, topo, flows_cache,
-                            route_caches.setdefault(cell.cache_key(), {}))
+                            route_caches.setdefault(cell.cache_key(), {}),
+                            collect_metrics=collect)
         except ReproError as exc:
             if not keep_going:
                 raise
@@ -329,6 +379,8 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
         records[doc["key"]] = doc
         if store is not None:
             store.append(doc)
+        if stream is not None:
+            stream.write_cell(doc)
         if log is not None:
             log(_cell_log_line(doc))
     return records
@@ -348,7 +400,8 @@ def _group_cells(pending: list[SweepCell]) -> list[list[SweepCell]]:
     return sorted(groups.values(), key=len, reverse=True)
 
 
-def _sweep_worker(plan: SweepPlan, conn, worker_id: int) -> None:
+def _sweep_worker(plan: SweepPlan, conn, worker_id: int,
+                  collect_metrics: bool = False) -> None:
     """Worker loop: receive topology groups, build once, run their cells.
 
     The worker owns one end of a duplex pipe.  The parent sends
@@ -384,7 +437,8 @@ def _sweep_worker(plan: SweepPlan, conn, worker_id: int) -> None:
                     topo = _cell_topology(cell, base, degraded_cache)
                     doc = _run_cell(
                         plan, cell, topo, flows_cache,
-                        route_caches.setdefault(cell.cache_key(), {}))
+                        route_caches.setdefault(cell.cache_key(), {}),
+                        collect_metrics=collect_metrics)
                 except ReproError as exc:
                     conn.send(("cellerror",
                                _error_doc(cell, type(exc).__name__,
@@ -416,10 +470,11 @@ def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
                   store: SweepCheckpoint | None,
                   log: Callable[[str], None] | None,
                   jobs: int, keep_going: bool, cell_timeout: float | None,
-                  max_respawns: int, failures: dict[str, dict]
-                  ) -> dict[str, dict]:
+                  max_respawns: int, failures: dict[str, dict],
+                  stream=None) -> dict[str, dict]:
     if not pending:
         return {}
+    collect = stream is not None
     groups = _group_cells(pending)
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
@@ -435,7 +490,7 @@ def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
         nonlocal next_wid
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(target=_sweep_worker,
-                           args=(plan, child_conn, next_wid),
+                           args=(plan, child_conn, next_wid, collect),
                            daemon=True)
         proc.start()
         child_conn.close()
@@ -480,6 +535,8 @@ def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
             state.current = None
             if store is not None:
                 store.append(doc)
+            if stream is not None:
+                stream.write_cell(doc)
             if log is not None:
                 log(f"[{doc['workload']}]" + _cell_log_line(doc))
         elif kind == "cellerror":

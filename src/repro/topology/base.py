@@ -52,6 +52,8 @@ class Topology(ABC):
         self.links = LinkTable()
         self._inj: np.ndarray | None = None
         self._cons: np.ndarray | None = None
+        self._tier_names: tuple[str, ...] | None = None
+        self._tier_index: np.ndarray | None = None
 
     # ----------------------------------------------------------- construction
     def _finalize(self) -> None:
@@ -109,6 +111,37 @@ class Topology(ABC):
     def num_network_links(self) -> int:
         """Directed network links (NIC links excluded)."""
         return self.links.num_links - 2 * self.num_endpoints
+
+    def link_tiers(self) -> tuple[tuple[str, ...], np.ndarray]:
+        """Per-link architectural-tier metadata.
+
+        Returns ``(names, index)`` where ``names[index[i]]`` is the tier of
+        link ``i``.  Tiers partition the link table; the observability
+        layer and the static analyzer aggregate per-link quantities (bits,
+        busy time, load) over them.  Flat topologies expose ``("network",
+        "nic")``; hybrids refine ``network`` into ``lower_torus`` /
+        ``uplinks`` / ``upper_fabric`` (see
+        :meth:`~repro.topology.hybrid.NestedTopology._classify_links`).
+        Computed once after finalisation and cached.
+        """
+        if self._tier_names is None:
+            if self._inj is None:
+                raise RoutingError("topology not finalised; call _finalize()")
+            names, index = self._classify_links()
+            index = np.asarray(index, dtype=np.int64)
+            index.setflags(write=False)
+            self._tier_names = tuple(names)
+            self._tier_index = index
+        assert self._tier_index is not None
+        return self._tier_names, self._tier_index
+
+    def _classify_links(self) -> tuple[tuple[str, ...], np.ndarray]:
+        """Default classification: NIC links vs everything else."""
+        nic_base = self.num_endpoints + self.num_switches
+        srcs = np.asarray(self.links.sources, dtype=np.int64)
+        dsts = np.asarray(self.links.destinations, dtype=np.int64)
+        nic = (srcs >= nic_base) | (dsts >= nic_base)
+        return ("network", "nic"), nic.astype(np.int64)
 
     def describe(self) -> str:
         """One-line summary used by reports and reprs."""

@@ -249,6 +249,10 @@ class DegradedTopology(Topology):
         return None
 
     # ------------------------------------------------------------- inspection
+    def link_tiers(self):
+        """Tier metadata of the wrapped machine (shared link table)."""
+        return self.base.link_tiers()
+
     def describe(self) -> str:
         return f"{self.base.describe()} [degraded: {self.faults.describe()}]"
 

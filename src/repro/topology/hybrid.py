@@ -216,6 +216,28 @@ class NestedTopology(Topology):
         return up + switches + down
 
     # --------------------------------------------------------------- analysis
+    def _classify_links(self):
+        """Refine ``network`` into the hybrid's three architectural tiers.
+
+        ``lower_torus`` — links between two endpoints (intra-subtorus DOR
+        cables); ``uplinks`` — endpoint <-> upper-tier switch access links;
+        ``upper_fabric`` — switch <-> switch links of the fattree/GHC.
+        """
+        import numpy as np
+
+        ep = self.num_endpoints
+        nic_base = ep + self.num_switches
+        srcs = np.asarray(self.links.sources, dtype=np.int64)
+        dsts = np.asarray(self.links.destinations, dtype=np.int64)
+        nic = (srcs >= nic_base) | (dsts >= nic_base)
+        lower = (srcs < ep) & (dsts < ep)
+        upper = ~nic & (srcs >= ep) & (dsts >= ep)
+        index = np.ones(srcs.shape[0], dtype=np.int64)  # default: uplinks
+        index[lower] = 0
+        index[upper] = 2
+        index[nic] = 3
+        return ("lower_torus", "uplinks", "upper_fabric", "nic"), index
+
     def routing_diameter(self) -> int:
         """Exact worst-case hop count under the nested routing rule."""
         to_uplink = self.plan.max_hops_to_uplink()

@@ -212,3 +212,52 @@ class TestSweepFlags:
         assert main(["fig5", "--endpoints", "64", "--workloads", "reduce",
                      "--quiet", "--checkpoint", str(ck), "--resume"]) == 0
         assert capsys.readouterr().out == first  # fully replayed from disk
+
+
+class TestProfile:
+    def test_profile_prints_tier_and_timing_tables(self, capsys):
+        assert main(["profile", "allreduce", "nesttree", "--t", "2",
+                     "--u", "2", "--endpoints", "64"]) == 0
+        out = capsys.readouterr().out
+        for tier in ("lower_torus", "uplinks", "upper_fabric", "nic"):
+            assert tier in out
+        assert "Timing (wall-clock spans)" in out
+        assert "Allocator:" in out
+
+    def test_profile_flat_family(self, capsys):
+        assert main(["profile", "reduce", "torus",
+                     "--endpoints", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "network" in out and "nic" in out
+
+    def test_profile_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "zzz", "torus", "--endpoints", "64"])
+        assert exc.value.code == 2
+        assert "unknown workload 'zzz'" in capsys.readouterr().err
+
+    def test_profile_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "reduce", "zzz", "--endpoints", "64"])
+        assert exc.value.code == 2
+        assert "unknown topology family 'zzz'" in capsys.readouterr().err
+
+
+class TestSweepMetricsFlag:
+    def test_fig4_metrics_stream(self, capsys, tmp_path):
+        from repro.obs import validate_metrics_file
+
+        path = tmp_path / "m.jsonl"
+        assert main(["fig4", "--endpoints", "64", "--workloads",
+                     "allreduce", "--quiet", "--metrics", str(path)]) == 0
+        assert validate_metrics_file(path) == 18
+
+    def test_resilience_metrics_stream(self, capsys, tmp_path):
+        from repro.obs import validate_metrics_file
+
+        path = tmp_path / "m.jsonl"
+        assert main(["resilience", "--endpoints", "64", "--workload",
+                     "reduce", "--topologies", "torus", "fattree",
+                     "--fail-links", "0", "--quiet",
+                     "--metrics", str(path)]) == 0
+        assert validate_metrics_file(path) == 2

@@ -1,0 +1,108 @@
+"""Fidelity-gap and metrics-conservation properties across families.
+
+Two cross-cutting engine claims, exercised on every topology family the
+paper sweeps (plus the GHC baseline) with seeded random workloads:
+
+* the bounded-churn ``approx`` fidelity tracks the ``exact`` reference
+  makespan within the suite's stated 25% envelope (the same bound
+  ``test_simulator_properties`` holds on the torus — here it must hold on
+  hybrids too, whose two-tier routes are exactly where rate inheritance
+  could drift);
+* the observability layer conserves bits: summed per-link delivered bits
+  equal the total routed bits (flow size x route length over networked
+  flows, zero-hop flows excluded), and the per-tier aggregation is a
+  partition — tier delivered bits sum back to the link total exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import simulate
+from repro.engine.flows import FlowBuilder
+from repro.obs import MetricsCollector, validate_snapshot
+from repro.units import DEFAULT_LINK_CAPACITY as CAP
+
+#: Stated approx-vs-exact makespan envelope (see docs/simulation-model.md).
+FIDELITY_REL_BOUND = 0.25
+
+FAMILIES = ("small_torus", "small_fattree", "small_ghc", "small_nesttree",
+            "small_nestghc")
+
+
+def _random_workload(num_tasks: int, seed: int, *, flows: int = 60):
+    """Seeded random flow DAG: random pairs, sizes, and forward edges."""
+    rng = np.random.default_rng(seed)
+    b = FlowBuilder(num_tasks)
+    for _ in range(flows):
+        src = int(rng.integers(num_tasks))
+        dst = int(rng.integers(num_tasks))
+        b.add_flow(src, dst, CAP * float(rng.uniform(0.001, 0.2)))
+    for _ in range(int(rng.integers(0, flows))):
+        succ = int(rng.integers(1, flows))
+        pred = int(rng.integers(0, succ))
+        b.add_dependency(pred, succ)
+    return b.build()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_approx_within_stated_bound_of_exact(family, seed, request):
+    topo = request.getfixturevalue(family)
+    flows = _random_workload(topo.num_endpoints, seed)
+    cache: dict = {}
+    exact = simulate(topo, flows, fidelity="exact", route_cache=cache)
+    approx = simulate(topo, flows, fidelity="approx", route_cache=cache)
+    assert approx.makespan == pytest.approx(exact.makespan,
+                                            rel=FIDELITY_REL_BOUND)
+    # approx must do no more allocations than exact (that is its point)
+    assert approx.reallocations <= exact.reallocations
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("fidelity", ["exact", "approx"])
+def test_metrics_conserve_routed_bits(family, fidelity, request):
+    topo = request.getfixturevalue(family)
+    flows = _random_workload(topo.num_endpoints, seed=7)
+    collector = MetricsCollector(topo.links.num_links)
+    result = simulate(topo, flows, fidelity=fidelity, metrics=collector)
+
+    # ground truth, recomputed independently of the collector: every
+    # networked flow delivers its full size over each link of its route
+    expected = 0.0
+    injected = 0.0
+    for f in range(flows.num_flows):
+        src, dst = int(flows.src[f]), int(flows.dst[f])
+        if src == dst:
+            continue  # zero-hop: never enters the network
+        route_len = len(topo.route(src, dst))
+        expected += float(flows.size[f]) * route_len
+        injected += float(flows.size[f])
+
+    assert collector.link_bits.sum() == pytest.approx(expected, rel=1e-9)
+    snap = result.metrics
+    validate_snapshot(snap)
+    assert snap["delivered_link_bits"] == pytest.approx(expected, rel=1e-9)
+    assert snap["injected_bits"] == pytest.approx(injected, rel=1e-9)
+
+    # tiers partition the link table: per-tier bits sum to the link total
+    tier_sum = sum(t["delivered_bits"] for t in snap["tiers"].values())
+    assert tier_sum == pytest.approx(float(collector.link_bits.sum()),
+                                     rel=1e-12)
+    assert sum(t["links"] for t in snap["tiers"].values()) \
+        == topo.links.num_links
+
+
+def test_zero_hop_flows_excluded_from_conservation(small_torus):
+    """Co-located flows count as injected work but never as link traffic."""
+    b = FlowBuilder(small_torus.num_endpoints)
+    b.add_flow(0, 0, CAP * 0.1)   # zero-hop under identity placement
+    b.add_flow(0, 1, CAP * 0.1)
+    collector = MetricsCollector(small_torus.links.num_links)
+    simulate(small_torus, b.build(), metrics=collector)
+    assert collector.zero_hop_flows == 1
+    assert collector.network_flows == 1
+    route_len = len(small_torus.route(0, 1))
+    assert collector.link_bits.sum() == pytest.approx(
+        CAP * 0.1 * route_len, rel=1e-12)

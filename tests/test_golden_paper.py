@@ -1,0 +1,114 @@
+"""Golden-value regression tests for the paper's static tables.
+
+Table 1 (average distance / diameter under routing) and Table 2 (switch
+counts and cost/power overheads) are pure functions of the topology
+planners and routing functions, so their outputs at a reduced scale are
+checked in verbatim: any refactor of the routing, planner, or cost code
+that shifts a value — even in the last digit — fails here before it can
+silently skew the paper-scale numbers.
+
+The goldens were computed at 64 endpoints (small enough that the distance
+statistics are exact enumerations over all ordered pairs, not samples).
+At this scale the t=4 design points collapse to a single 4x4x4 subtorus —
+all traffic stays in the lower tier, so their statistics equal the bare
+torus's.  That degeneracy is itself part of the golden record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import build
+from repro.topology.analysis import path_length_stats, routing_diameter
+from repro.topology.cost import (CostModel, fattree_switch_count,
+                                 ghc_switch_count, overhead_row)
+
+ENDPOINTS = 64
+
+#: (family, t, u) -> (exact average routed distance, routing diameter).
+TABLE1_GOLDEN = {
+    ("nesttree", 2, 1): (5.269841, 6),
+    ("nesttree", 2, 2): (6.158730, 8),
+    ("nesttree", 2, 4): (6.603175, 8),
+    ("nesttree", 2, 8): (7.174603, 12),
+    ("nesttree", 4, 1): (3.047619, 6),
+    ("nesttree", 4, 2): (3.047619, 6),
+    ("nesttree", 4, 4): (3.047619, 6),
+    ("nesttree", 4, 8): (3.047619, 6),
+    ("nestghc", 2, 1): (4.126984, 6),
+    ("nestghc", 2, 2): (4.825397, 8),
+    ("nestghc", 2, 4): (5.269841, 8),
+    ("nestghc", 2, 8): (6.158730, 11),
+    ("nestghc", 4, 1): (3.047619, 6),
+    ("nestghc", 4, 2): (3.047619, 6),
+    ("nestghc", 4, 4): (3.047619, 6),
+    ("nestghc", 4, 8): (3.047619, 6),
+    ("fattree", None, None): (5.428571, 6),
+    ("torus", None, None): (3.047619, 6),
+}
+
+#: u -> (GHC switches, tree switches, cost ghc, cost tree, power ghc,
+#: power tree) for an upper tier serving 64/u ports, default cost model.
+TABLE2_GOLDEN = {
+    1: (4, 48, 0.046875, 0.562500, 0.015625, 0.187500),
+    2: (2, 32, 0.023438, 0.375000, 0.007812, 0.125000),
+    4: (1, 20, 0.011719, 0.234375, 0.003906, 0.078125),
+    8: (1, 12, 0.011719, 0.140625, 0.003906, 0.046875),
+}
+
+
+def _build(family, t, u):
+    params = {}
+    if t is not None:
+        params = {"t": t, "u": u}
+    return build(family, ENDPOINTS, **params)
+
+
+@pytest.mark.parametrize("family,t,u", sorted(
+    TABLE1_GOLDEN, key=lambda k: (k[0], k[1] or 0, k[2] or 0)))
+def test_table1_distance_goldens(family, t, u):
+    topo = _build(family, t, u)
+    stats = path_length_stats(topo, max_pairs=10_000)
+    assert stats.exact, "64 endpoints must enumerate all pairs"
+    golden_avg, golden_diam = TABLE1_GOLDEN[(family, t, u)]
+    assert stats.average == pytest.approx(golden_avg, abs=1e-6)
+    assert routing_diameter(topo) == golden_diam
+    # the observed maximum over all pairs is the diameter by definition
+    assert stats.maximum == golden_diam
+
+
+def test_table1_histogram_is_complete():
+    """The distance histogram covers every ordered distinct pair."""
+    topo = _build("nesttree", 2, 4)
+    stats = path_length_stats(topo, max_pairs=10_000)
+    assert sum(stats.histogram.values()) == ENDPOINTS * (ENDPOINTS - 1)
+    assert stats.pairs_measured == ENDPOINTS * (ENDPOINTS - 1)
+
+
+@pytest.mark.parametrize("u", sorted(TABLE2_GOLDEN))
+def test_table2_cost_goldens(u):
+    ports = ENDPOINTS // u
+    sg = ghc_switch_count(ports)
+    st = fattree_switch_count(ports)
+    rg = overhead_row("ghc", sg, ENDPOINTS)
+    rt = overhead_row("tree", st, ENDPOINTS)
+    g_sg, g_st, g_cg, g_ct, g_pg, g_pt = TABLE2_GOLDEN[u]
+    assert sg == g_sg
+    assert st == g_st
+    assert rg.cost_increase == pytest.approx(g_cg, abs=1e-6)
+    assert rt.cost_increase == pytest.approx(g_ct, abs=1e-6)
+    assert rg.power_increase == pytest.approx(g_pg, abs=1e-6)
+    assert rt.power_increase == pytest.approx(g_pt, abs=1e-6)
+
+
+def test_table2_paper_scale_reference():
+    """The full-fattree reference row the paper prints, exactly.
+
+    9216 switches at 131,072 endpoints give +5.27% cost and +1.76% power
+    under the back-solved linear model — the values in the paper's text.
+    """
+    switches = fattree_switch_count(131_072)
+    assert switches == 9216
+    row = overhead_row("fattree", switches, 131_072, CostModel())
+    assert round(row.cost_increase * 100, 2) == 5.27
+    assert round(row.power_increase * 100, 2) == 1.76
