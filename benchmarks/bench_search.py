@@ -1,0 +1,59 @@
+"""Bench: the multi-fidelity design search end to end.
+
+Runs ``run_search`` at the bench scale (default 512 endpoints) with the
+default workload mix and writes the resulting front to
+``benchmarks/results/search.txt``.  The assertions are about the
+subsystem's economics, not absolute time: the rank-0 cache must absorb
+repeated proposals, and successive halving must keep the full-fidelity
+simulation count strictly below exhaustive coverage of the space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_ENDPOINTS, write_result
+from repro.search import (DesignSpace, FidelityLadder, LadderEvaluator,
+                          make_strategy, render_report, run_search)
+from repro.search.fidelity import DEFAULT_WORKLOADS, RANK_FULL
+
+BUDGET = 40
+
+
+def search_once(strategy: str):
+    ladder = FidelityLadder.for_scale(BENCH_ENDPOINTS, DEFAULT_WORKLOADS,
+                                      seed=7)
+    space = DesignSpace(endpoints=BENCH_ENDPOINTS,
+                        pilot_endpoints=ladder.pilot_endpoints)
+    evaluator = LadderEvaluator(ladder)
+    result = run_search(space, make_strategy(strategy, space, seed=7),
+                        ladder, budget=BUDGET, evaluator=evaluator)
+    return result, evaluator, space
+
+
+@pytest.mark.benchmark(group="search")
+def test_search_evolution(benchmark):
+    result, evaluator, space = benchmark.pedantic(
+        lambda: search_once("evolution"), rounds=1, iterations=1)
+    lines = [f"Design search @ {BENCH_ENDPOINTS} endpoints "
+             f"(evolution, budget {BUDGET}, seed 7)"]
+    for row in result.front_rows():
+        o = row["objectives"]
+        lines.append(f"{row['label']:>16} | {o['makespan']:.4f} "
+                     f"{o['cost'] * 100:6.2f}% {o['power'] * 100:6.2f}%"
+                     + ("  *" if row["baseline"] else ""))
+    write_result("search.txt", "\n".join(lines))
+    # the ladder economics: repeats hit the cache, halving spares rank 2
+    assert evaluator.static_cache_hits > 0
+    assert evaluator.sim_candidates[RANK_FULL] < space.size()
+    assert len(result.front.members()) >= 2
+
+
+@pytest.mark.benchmark(group="search")
+def test_search_deterministic(benchmark):
+    """Two identical searches render byte-identical reports."""
+    first = render_report(search_once("grid")[0])
+    second = benchmark.pedantic(
+        lambda: render_report(search_once("grid")[0]),
+        rounds=1, iterations=1)
+    assert first == second

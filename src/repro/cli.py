@@ -10,6 +10,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro profile allreduce nesttree --t 2 --u 4   # tier/timing tables
     repro resilience --endpoints 4096 --workload allreduce \
         --fail-links 0 4 16 64 --jobs 4   # makespan vs failed cables
+    repro optimize --endpoints 512 --budget 40 --seed 7 \
+        --report front.json               # search the design space
     repro info
 
 The sweep commands accept ``--metrics PATH`` to stream one observability
@@ -71,6 +73,30 @@ def _add_sweep(p: argparse.ArgumentParser) -> None:
                         "timers; see docs/observability.md)")
 
 
+def _add_cost_model(p: argparse.ArgumentParser) -> None:
+    """Cost-model overrides (Table 2 / optimize objectives)."""
+    p.add_argument("--switch-cost", type=float, default=None, metavar="QFDB",
+                   help="cost of one upper-tier switch in QFDB units "
+                        "(default: the paper-calibrated 0.75)")
+    p.add_argument("--switch-power", type=float, default=None, metavar="QFDB",
+                   help="power of one upper-tier switch in QFDB units "
+                        "(default: the paper-calibrated 0.25)")
+
+
+def _cost_model(args: argparse.Namespace):
+    """The (possibly overridden) CostModel for a command; None = defaults."""
+    from repro.topology.cost import CostModel
+
+    if args.switch_cost is None and args.switch_power is None:
+        return None
+    defaults = CostModel()
+    return CostModel(
+        switch_cost=defaults.switch_cost if args.switch_cost is None
+        else args.switch_cost,
+        switch_power=defaults.switch_power if args.switch_power is None
+        else args.switch_power)
+
+
 def _add_faults(p: argparse.ArgumentParser, *, many_links: bool) -> None:
     """Fault-injection arguments shared by fig4/fig5 and resilience."""
     if many_links:
@@ -103,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p2 = sub.add_parser("table2", help="switch count / cost / power table")
     _add_common(p2, endpoints=PAPER_ENDPOINTS)
+    _add_cost_model(p2)
 
     p4 = sub.add_parser("fig4", help="heavy-workload normalised times")
     _add_sweep(p4)
@@ -147,6 +174,52 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("--fidelity", choices=("exact", "approx"),
                     default="exact")
 
+    po = sub.add_parser(
+        "optimize",
+        help="multi-fidelity Pareto search over the hybrid design space")
+    _add_common(po, endpoints=DEFAULT_ENDPOINTS)
+    po.add_argument("--budget", type=int, default=40,
+                    help="candidate proposals the strategy may spend "
+                         "(rank-0 evaluations; default 40)")
+    po.add_argument("--strategy", default="evolution",
+                    help="proposal strategy: grid, random, or evolution "
+                         "(default evolution)")
+    po.add_argument("--workloads", nargs="*", default=None,
+                    help="workload set the makespan objective averages "
+                         "over (default: allreduce nearneighbors "
+                         "permutation)")
+    po.add_argument("--pilot-endpoints", type=int, default=None, metavar="N",
+                    help="rank-1 pilot scale (default: min(endpoints, 512); "
+                         "equal scales collapse the ladder to rank 0 -> 2)")
+    po.add_argument("--fidelity", choices=("exact", "approx"),
+                    default="approx", help="engine fidelity (default approx)")
+    po.add_argument("--quadratic-tasks", type=int,
+                    default=DEFAULT_QUADRATIC_TASKS,
+                    help="task cap for MapReduce/n-Bodies")
+    po.add_argument("--fault-levels", type=int, nargs="+", default=[0],
+                    metavar="N",
+                    help="failed-cable counts as an extra search axis "
+                         "(default: 0, healthy designs only)")
+    po.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the simulation rungs")
+    po.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="base path for per-rank sweep checkpoints "
+                         "(PATH.rank1.jsonl / PATH.rank2.jsonl)")
+    po.add_argument("--resume", action="store_true",
+                    help="skip simulation cells already present in the "
+                         "rank checkpoints")
+    po.add_argument("--cell-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="wall-clock cap per simulation cell")
+    po.add_argument("--metrics", default=None, metavar="PATH",
+                    help="base path for per-evaluation obs metrics streams "
+                         "(PATH.rank<N>.metrics.jsonl)")
+    po.add_argument("--report", default=None, metavar="PATH",
+                    help="write the schema-versioned JSON report here")
+    po.add_argument("--quiet", action="store_true",
+                    help="suppress progress logging")
+    _add_cost_model(po)
+
     sub.add_parser("info", help="library inventory")
 
     args = parser.parse_args(argv)
@@ -154,11 +227,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "table1":
         print(table1(args.endpoints, max_pairs=args.max_pairs, seed=args.seed))
     elif args.command == "table2":
-        print(table2(args.endpoints))
+        print(table2(args.endpoints, model=_cost_model(args)))
     elif args.command in ("fig4", "fig5"):
         _run_figure(args, heavy=args.command == "fig4")
     elif args.command == "resilience":
         _run_resilience(args)
+    elif args.command == "optimize":
+        _run_optimize(args)
     elif args.command == "run":
         _run_single(args)
     elif args.command == "profile":
@@ -217,6 +292,72 @@ def _validate(parser: argparse.ArgumentParser,
         if args.topology not in topo_available():
             parser.error(f"unknown topology family {args.topology!r}; "
                          f"choose from: {', '.join(topo_available())}")
+    if args.command in ("run", "profile"):
+        _validate_hybrid(parser, args)
+    if args.command in ("table2", "optimize"):
+        for flag, value in (("--switch-cost", args.switch_cost),
+                            ("--switch-power", args.switch_power)):
+            if value is not None and value < 0:
+                parser.error(f"{flag} must be non-negative, got {value}")
+    if args.command == "optimize":
+        _validate_optimize(parser, args)
+
+
+def _validate_hybrid(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> None:
+    """Hybrid ``(t, u)`` guard for run/profile: exit 2 with the ranges.
+
+    Without this a bad density or side only explodes deep inside topology
+    construction; the typed ConfigError from core.config lists the valid
+    parameter ranges instead.
+    """
+    from repro.core.config import HYBRID_FAMILIES, validate_hybrid_params
+    from repro.errors import ConfigError
+
+    if args.topology not in HYBRID_FAMILIES:
+        return
+    if args.t is None or args.u is None:
+        parser.error(f"{args.topology} needs both --t (subtorus side) and "
+                     f"--u (uplink density)")
+    try:
+        validate_hybrid_params(args.topology, args.t, args.u,
+                               endpoints=args.endpoints)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+
+def _validate_optimize(parser: argparse.ArgumentParser,
+                       args: argparse.Namespace) -> None:
+    """Range-check the optimize flags (exit 2, valid choices listed)."""
+    from repro.search import available_strategies
+    from repro.workloads import available
+
+    if args.budget < 1:
+        parser.error(f"--budget must be >= 1, got {args.budget}")
+    if args.strategy not in available_strategies():
+        parser.error(f"unknown search strategy {args.strategy!r}; "
+                     f"choose from: {', '.join(available_strategies())}")
+    for name in args.workloads or ():
+        if name not in available():
+            parser.error(f"unknown workload {name!r}; "
+                         f"choose from: {', '.join(available())}")
+    if args.pilot_endpoints is not None:
+        if args.pilot_endpoints < 8:
+            parser.error(f"--pilot-endpoints must be >= 8, "
+                         f"got {args.pilot_endpoints}")
+        if args.pilot_endpoints > args.endpoints:
+            parser.error(f"--pilot-endpoints ({args.pilot_endpoints}) must "
+                         f"not exceed --endpoints ({args.endpoints})")
+    for level in args.fault_levels:
+        if level < 0:
+            parser.error(f"--fault-levels counts must be >= 0, got {level}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be a positive number of "
+                     f"seconds, got {args.cell_timeout}")
 
 
 def _validate_faults(parser: argparse.ArgumentParser,
@@ -339,6 +480,68 @@ def _run_resilience(args: argparse.Namespace) -> None:
         with open(args.out, "w") as fh:
             fh.write(table.to_csv())
         print(f"\nraw results written to {args.out}", file=sys.stderr)
+
+
+def _run_optimize(args: argparse.Namespace) -> None:
+    """Multi-fidelity Pareto search over the hybrid design space.
+
+    Output is deterministic under a fixed seed (no wall-clock anywhere),
+    so identical invocations print — and with ``--report`` write —
+    byte-identical results.
+    """
+    from repro.errors import ConfigError
+    from repro.search import (DesignSpace, FidelityLadder, LadderEvaluator,
+                              make_strategy, run_search, write_report)
+    from repro.search.fidelity import DEFAULT_WORKLOADS
+    from repro.topology.cost import CostModel
+
+    workloads = tuple(args.workloads or DEFAULT_WORKLOADS)
+    log = None if args.quiet else \
+        (lambda m: print(f"[optimize] {m}", file=sys.stderr, flush=True))
+    try:
+        ladder = FidelityLadder.for_scale(
+            args.endpoints, workloads,
+            pilot_endpoints=args.pilot_endpoints,
+            fidelity=args.fidelity, seed=args.seed,
+            quadratic_tasks=args.quadratic_tasks)
+        space = DesignSpace(endpoints=args.endpoints,
+                            pilot_endpoints=ladder.pilot_endpoints,
+                            fault_levels=tuple(dict.fromkeys(
+                                args.fault_levels)))
+        strategy = make_strategy(args.strategy, space, seed=args.seed)
+    except ConfigError as exc:
+        print(f"repro optimize: error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    evaluator = LadderEvaluator(
+        ladder, cost_model=_cost_model(args) or CostModel(),
+        jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume,
+        cell_timeout=args.cell_timeout, metrics=args.metrics, log=log)
+    result = run_search(space, strategy, ladder, budget=args.budget,
+                        evaluator=evaluator, log=log)
+
+    print(f"Pareto front @ {args.endpoints} endpoints "
+          f"(strategy={result.strategy}, budget={args.budget}, "
+          f"seed={args.seed}, workloads={'+'.join(workloads)})")
+    print(f"{'design':>16} | {'makespan':>9} {'cost':>8} {'power':>8}")
+    for row in result.front_rows():
+        obj = row["objectives"]
+        marker = " *" if row["baseline"] else ""
+        print(f"{row['label']:>16} | {obj['makespan']:>9.4f} "
+              f"{obj['cost'] * 100:>7.2f}% {obj['power'] * 100:>7.2f}%"
+              + marker)
+    print("(* = baseline reference, not a search product; makespan is "
+          "normalised to the fattree)")
+    ranks = result.rank_summary
+    print(f"evaluations: rank0 {ranks['rank0']['unique_designs']} designs "
+          f"({ranks['rank0']['proposals']} proposals, "
+          f"{ranks['rank0']['static_cache_hits']} cache hits), "
+          + ("rank1 skipped (collapsed ladder), "
+             if "skipped" in ranks["rank1"] else
+             f"rank1 {ranks['rank1']['simulations']} pilot sims, ")
+          + f"rank2 {ranks['rank2']['simulations']} full-fidelity sims")
+    if args.report:
+        path = write_report(result, args.report)
+        print(f"report written to {path}", file=sys.stderr)
 
 
 def _run_single(args: argparse.Namespace) -> None:

@@ -29,6 +29,50 @@ DEFAULT_QUADRATIC_TASKS = 512
 #: apply to (other families simply have no such ports to fail).
 HYBRID_FAMILIES = ("nesttree", "nestghc")
 
+#: Uplink densities the paper's Fig. 3 placement rules support.
+VALID_UPLINK_DENSITIES = (1, 2, 4, 8)
+
+
+def validate_hybrid_params(family: str, t: Any, u: Any, *,
+                           endpoints: int | None = None) -> None:
+    """Reject invalid hybrid ``(t, u)`` parameters with the ranges listed.
+
+    Without this guard a bad density or subtorus side only surfaces deep
+    inside topology construction (a :class:`TopologyError` after sweep
+    warm-up); the search mutation operator and the CLI both rely on the
+    typed :class:`ConfigError` raised here instead.  ``endpoints`` adds the
+    scale-dependent check that ``t**3``-node subtori tile the system.
+    """
+    ranges = (f"valid hybrid parameters: u in "
+              f"{'/'.join(map(str, VALID_UPLINK_DENSITIES))} "
+              f"(one uplink per u QFDBs), t a positive subtorus side "
+              f"(even when u > 1) whose cube divides the endpoint count")
+    if not isinstance(u, int) or u not in VALID_UPLINK_DENSITIES:
+        raise ConfigError(
+            f"{family}: uplink density u={u!r} is not a supported power of "
+            f"two; {ranges}")
+    if not isinstance(t, int) or t < 1:
+        raise ConfigError(
+            f"{family}: subtorus side t={t!r} must be a positive integer; "
+            f"{ranges}")
+    if u > 1 and t % 2:
+        raise ConfigError(
+            f"{family}: density u={u} needs an even subtorus side, got "
+            f"t={t}; {ranges}")
+    if endpoints is not None and endpoints % (t ** 3):
+        raise ConfigError(
+            f"{family}: subtorus side t={t} does not tile {endpoints} "
+            f"endpoints ({t}^3 = {t ** 3} must divide the system); {ranges}")
+
+
+def partition_tileable(endpoints: int, configs=PAPER_CONFIGS
+                       ) -> tuple[tuple[tuple[int, int], ...],
+                                  tuple[tuple[int, int], ...]]:
+    """Split ``(t, u)`` design points into (tileable, skipped) at a scale."""
+    tileable = tuple((t, u) for t, u in configs if endpoints % (t ** 3) == 0)
+    skipped = tuple((t, u) for t, u in configs if endpoints % (t ** 3) != 0)
+    return tileable, skipped
+
 
 @dataclass(frozen=True)
 class TopologySpec:
@@ -37,15 +81,31 @@ class TopologySpec:
     family: str
     params: dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # hybrid (t, u) pairs are validated at spec construction so a bad
+        # design point fails here, typed, not deep inside topology build
+        if self.family in HYBRID_FAMILIES:
+            t, u = self.params.get("t"), self.params.get("u")
+            if t is not None or u is not None:
+                validate_hybrid_params(self.family, t, u)
+
     def label(self) -> str:
         t, u = self.params.get("t"), self.params.get("u")
         if t is not None and u is not None:
             return f"{self.family}({t},{u})"
         return self.family
 
+    def validate_for(self, num_endpoints: int) -> None:
+        """Scale-dependent validation (subtorus tiling) for hybrids."""
+        if self.family in HYBRID_FAMILIES and "t" in self.params:
+            validate_hybrid_params(self.family, self.params["t"],
+                                   self.params.get("u"),
+                                   endpoints=num_endpoints)
+
     def build(self, num_endpoints: int):
         from repro.topology import build
 
+        self.validate_for(num_endpoints)
         return build(self.family, num_endpoints, **self.params)
 
 
@@ -89,9 +149,14 @@ class ExperimentConfig:
 
 
 def hybrid_specs(configs=PAPER_CONFIGS) -> list[TopologySpec]:
-    """NestGHC and NestTree specs for every (t, u) design point."""
+    """NestGHC and NestTree specs for every (t, u) design point.
+
+    Each pair is validated (:func:`validate_hybrid_params`) so an invalid
+    density or side raises a typed :class:`ConfigError` up front.
+    """
     specs: list[TopologySpec] = []
     for t, u in configs:
+        validate_hybrid_params("hybrid", t, u)
         specs.append(TopologySpec("nestghc", {"t": t, "u": u}))
         specs.append(TopologySpec("nesttree", {"t": t, "u": u}))
     return specs

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.core.config import (DEFAULT_ENDPOINTS, DEFAULT_QUADRATIC_TASKS,
                                PAPER_CONFIGS, TopologySpec, WorkloadSpec,
-                               baseline_specs, hybrid_specs)
+                               baseline_specs, hybrid_specs,
+                               partition_tileable)
 from repro.errors import ConfigError
 from repro.mapping import placement as placement_mod
 from repro.topology.base import Topology
@@ -32,6 +33,19 @@ QUADRATIC_WORKLOADS = ("mapreduce", "nbodies")
 #: a rank-aligned ring would trivially hand the torus a perfect-locality
 #: mapping no real scheduler guarantees; everything else spreads evenly.
 PLACEMENT_POLICY = {"nbodies": "random"}
+
+
+def workload_spec_for(name: str, endpoints: int, *,
+                      quadratic_tasks: int = DEFAULT_QUADRATIC_TASKS
+                      ) -> WorkloadSpec:
+    """Default spec for a workload name (task caps per DESIGN.md).
+
+    Shared by the explorer and the search subsystem so both apply the same
+    quadratic-workload task caps to a sweep cell.
+    """
+    if name in QUADRATIC_WORKLOADS:
+        return WorkloadSpec(name, tasks=min(endpoints, quadratic_tasks))
+    return WorkloadSpec(name)
 
 
 @dataclass(frozen=True)
@@ -120,10 +134,8 @@ class DesignSpaceExplorer:
         self.endpoints = endpoints
         # design points whose subtorus does not tile the system are skipped
         # (e.g. t=8 needs at least 512 endpoints)
-        self.configs = tuple((t, u) for t, u in configs
-                             if endpoints % (t ** 3) == 0)
-        self.skipped_configs = tuple((t, u) for t, u in configs
-                                     if endpoints % (t ** 3) != 0)
+        self.configs, self.skipped_configs = partition_tileable(
+            endpoints, configs)
         self.fidelity = fidelity
         self.quadratic_tasks = quadratic_tasks
         self.seed = seed
@@ -149,10 +161,8 @@ class DesignSpaceExplorer:
     # -------------------------------------------------------------- workload
     def workload_spec(self, name: str) -> WorkloadSpec:
         """Default spec for a workload name (task caps per DESIGN.md)."""
-        if name in QUADRATIC_WORKLOADS:
-            return WorkloadSpec(name, tasks=min(self.endpoints,
-                                                self.quadratic_tasks))
-        return WorkloadSpec(name)
+        return workload_spec_for(name, self.endpoints,
+                                 quadratic_tasks=self.quadratic_tasks)
 
     def _placement(self, workload: str, tasks: int) -> np.ndarray | None:
         if tasks == self.endpoints:

@@ -47,6 +47,28 @@ def analyze(topology: Topology, flows: FlowSet, *,
     )
 
 
+def load_imbalance(topology: Topology, report: LinkLoadReport) -> float:
+    """Max-over-mean drain time across the *loaded network* links.
+
+    NIC links are excluded (they saturate identically on every topology
+    for endpoint-bound workloads) and so are idle links (a sparse uplink
+    tier would otherwise look imbalanced just for having spare cables).
+    ``1.0`` is a perfectly balanced network; larger values mean the
+    topology concentrates the workload's bytes on few links — the rank-0
+    congestion proxy of the design search.
+    """
+    names, index = topology.link_tiers()
+    network = np.ones(report.loads.shape[0], dtype=bool)
+    for i, name in enumerate(names):
+        if name == "nic":
+            network &= index != i
+    drain = report.loads[network] / report.capacities[network]
+    loaded = drain[drain > 0]
+    if loaded.size == 0:
+        return 1.0
+    return float(loaded.max() / loaded.mean())
+
+
 def _tier_breakdown(topology: Topology, loads: np.ndarray) -> dict[str, float]:
     """Total bits carried per architectural tier.
 

@@ -1,0 +1,63 @@
+"""Multi-fidelity Pareto search over the hybrid design space.
+
+The repo's first closed design loop: instead of replaying the paper's 12
+hand-picked ``(t, u)`` points, :func:`~repro.search.optimizer.run_search`
+*finds* the Pareto front over (normalised makespan, cost overhead, power
+overhead) using pluggable proposal strategies
+(:mod:`~repro.search.strategies`), a three-rung fidelity ladder with
+successive-halving promotion (:mod:`~repro.search.fidelity`), and
+deterministic dominance bookkeeping (:mod:`~repro.search.pareto`).
+Candidate simulation reuses the parallel resumable sweep runner, so
+``--jobs``, checkpoint/resume, cell timeouts and fault injection all work
+inside a search.  ``repro optimize`` is the CLI entry point; see
+``docs/search.md``.
+"""
+
+from repro.search.fidelity import (DEFAULT_PILOT_ENDPOINTS, DEFAULT_WORKLOADS,
+                                   RANK_FULL, RANK_PILOT, RANK_STATIC,
+                                   FidelityLadder, LadderEvaluator,
+                                   StaticMetrics)
+from repro.search.optimizer import SearchResult, run_search
+from repro.search.pareto import (OBJECTIVE_NAMES, FrontMember, Objectives,
+                                 ParetoFront, nondominated, promote)
+from repro.search.report import (REPORT_SCHEMA_VERSION, render_report,
+                                 report_document, validate_report,
+                                 validate_report_file, write_report)
+from repro.search.space import SEARCH_SIDES, Candidate, DesignSpace
+from repro.search.strategies import (EvolutionStrategy, GridStrategy,
+                                     RandomStrategy, SearchStrategy,
+                                     available_strategies, make_strategy)
+
+__all__ = [
+    "DEFAULT_PILOT_ENDPOINTS",
+    "DEFAULT_WORKLOADS",
+    "OBJECTIVE_NAMES",
+    "RANK_FULL",
+    "RANK_PILOT",
+    "RANK_STATIC",
+    "REPORT_SCHEMA_VERSION",
+    "SEARCH_SIDES",
+    "Candidate",
+    "DesignSpace",
+    "EvolutionStrategy",
+    "FidelityLadder",
+    "FrontMember",
+    "GridStrategy",
+    "LadderEvaluator",
+    "Objectives",
+    "ParetoFront",
+    "RandomStrategy",
+    "SearchResult",
+    "SearchStrategy",
+    "StaticMetrics",
+    "available_strategies",
+    "make_strategy",
+    "nondominated",
+    "promote",
+    "render_report",
+    "report_document",
+    "run_search",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
+]

@@ -1,0 +1,125 @@
+"""Pareto dominance bookkeeping for the design search.
+
+The search minimises three objectives per design (see ``docs/search.md``):
+
+* ``makespan`` — mean normalised makespan over the chosen workload set
+  (1.0 = the fattree reference at the same fidelity rank),
+* ``cost``    — fractional upper-tier cost overhead (Table 2 model),
+* ``power``   — fractional upper-tier power overhead.
+
+Everything here is pure and deterministic: dominance is exact float
+comparison, fronts iterate in a stable order independent of insertion
+order, and :func:`promote` — the successive-halving rung filter — never
+lets a dominated candidate climb to a more expensive fidelity rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Objective names, in report order.  All are minimised.
+OBJECTIVE_NAMES = ("makespan", "cost", "power")
+
+
+@dataclass(frozen=True)
+class Objectives:
+    """One design's objective vector (all minimised)."""
+
+    makespan: float
+    cost: float
+    power: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.makespan, self.cost, self.power)
+
+    def as_dict(self) -> dict[str, float]:
+        return {"makespan": self.makespan, "cost": self.cost,
+                "power": self.power}
+
+    def dominates(self, other: Objectives) -> bool:
+        """True when self is no worse everywhere and better somewhere."""
+        mine, theirs = self.as_tuple(), other.as_tuple()
+        return (all(a <= b for a, b in zip(mine, theirs))
+                and any(a < b for a, b in zip(mine, theirs)))
+
+
+@dataclass(frozen=True)
+class FrontMember:
+    """One entry of a Pareto front: a labelled design and its objectives."""
+
+    label: str
+    objectives: Objectives
+    payload: Any = None   # opaque candidate object carried along
+
+    def sort_key(self) -> tuple:
+        return (*self.objectives.as_tuple(), self.label)
+
+
+class ParetoFront:
+    """A mutually non-dominated set with deterministic iteration order.
+
+    ``add`` keeps the invariant incrementally: a new design enters only if
+    no current member dominates it, and evicts every member it dominates.
+    Duplicate labels are replaced (latest objectives win), so re-evaluating
+    a candidate at a higher fidelity rank updates its entry in place.
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[str, FrontMember] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._members
+
+    def add(self, label: str, objectives: Objectives,
+            payload: Any = None) -> bool:
+        """Offer a design to the front; True when it enters (or updates)."""
+        incoming = FrontMember(label, objectives, payload)
+        others = [m for m in self._members.values() if m.label != label]
+        if any(m.objectives.dominates(objectives) for m in others):
+            # an existing entry for this label may itself now be stale
+            self._members.pop(label, None)
+            self._requeue(others)
+            return False
+        survivors = [m for m in others
+                     if not objectives.dominates(m.objectives)]
+        self._requeue(survivors)
+        self._members[label] = incoming
+        return True
+
+    def _requeue(self, members: list[FrontMember]) -> None:
+        self._members = {m.label: m for m in members}
+
+    def members(self) -> list[FrontMember]:
+        """Front members in deterministic (objectives, label) order."""
+        return sorted(self._members.values(), key=FrontMember.sort_key)
+
+    def dominates(self, objectives: Objectives) -> bool:
+        """Whether any member dominates the given objective vector."""
+        return any(m.objectives.dominates(objectives)
+                   for m in self._members.values())
+
+
+def nondominated(entries: dict[str, Objectives]) -> list[str]:
+    """Labels of the mutually non-dominated subset, deterministically
+    ordered by (objectives, label)."""
+    labels = sorted(entries, key=lambda k: (*entries[k].as_tuple(), k))
+    return [a for a in labels
+            if not any(entries[b].dominates(entries[a]) for b in labels
+                       if b != a)]
+
+
+def promote(entries: dict[str, Objectives], *, cap: int) -> list[str]:
+    """Successive-halving rung filter: the survivors that may pay for the
+    next fidelity rank.
+
+    Only non-dominated designs are eligible — a candidate dominated at the
+    current rank is never promoted, whatever the cap allows — and at most
+    ``cap`` of them survive, in deterministic (objectives, label) order.
+    """
+    if cap < 1:
+        return []
+    return nondominated(entries)[:cap]

@@ -1,0 +1,141 @@
+"""Schema-versioned JSON search reports (the ``repro optimize`` output).
+
+The report is a single JSON document designed to be byte-identical across
+runs with the same seed: keys are sorted, floats are emitted by ``json``
+repr, and nothing wall-clock-dependent is included.  CI validates the
+schema of a tiny-budget run on every push.
+
+Layout::
+
+    {"schema": "repro-search-report-v1",
+     "meta":  {endpoints, pilot_endpoints, budget, seed, strategy,
+               halving, fidelity, workloads, families, sides, densities,
+               fault_levels, objectives, cost_model},
+     "ranks": {rank0: {...}, rank1: {...}, rank2: {...}},
+     "front": [{label, family, t, u, fail_links, baseline,
+                objectives: {makespan, cost, power}}, ...],
+     "references": {fattree: {...}, torus: {...}},
+     "evaluations": [{label, rank, objectives|null, cached}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.search.optimizer import SearchResult
+from repro.search.pareto import OBJECTIVE_NAMES
+
+#: Schema tag of every search report.
+REPORT_SCHEMA_VERSION = "repro-search-report-v1"
+
+
+def report_document(result: SearchResult) -> dict:
+    """The report as a plain dict (see module docstring for the layout)."""
+    ladder, space = result.ladder, result.space
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "meta": {
+            "endpoints": ladder.endpoints,
+            "pilot_endpoints": ladder.pilot_endpoints,
+            "budget": result.budget,
+            "seed": ladder.seed,
+            "strategy": result.strategy,
+            "halving": result.halving,
+            "fidelity": ladder.fidelity,
+            "workloads": list(ladder.workloads),
+            "families": list(space.families),
+            "sides": list(space.valid_sides()),
+            "densities": list(space.densities),
+            "fault_levels": list(space.fault_levels),
+            "objectives": list(OBJECTIVE_NAMES),
+            "cost_model": {
+                "switch_cost": result.cost_model.switch_cost,
+                "switch_power": result.cost_model.switch_power,
+            },
+        },
+        "ranks": result.rank_summary,
+        "front": result.front_rows(),
+        "references": result.references,
+        "evaluations": result.evaluations,
+    }
+
+
+def render_report(result: SearchResult) -> str:
+    """Deterministic JSON text (sorted keys, stable float repr)."""
+    return json.dumps(report_document(result), sort_keys=True, indent=2) + "\n"
+
+
+def write_report(result: SearchResult, path: str | os.PathLike) -> Path:
+    """Render and write the report; returns the path written."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_report(result))
+    return out
+
+
+# ------------------------------------------------------------------ validate
+def validate_report(doc: dict) -> None:
+    """Raise :class:`~repro.errors.ConfigError` unless ``doc`` is a valid
+    search report: schema tag, meta fields, a mutually non-dominated front,
+    and well-formed evaluation entries."""
+    if not isinstance(doc, dict):
+        raise ConfigError("search report must be a JSON object")
+    if doc.get("schema") != REPORT_SCHEMA_VERSION:
+        raise ConfigError(
+            f"unknown search report schema {doc.get('schema')!r}; "
+            f"expected {REPORT_SCHEMA_VERSION}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        raise ConfigError("search report is missing its meta object")
+    for fld in ("endpoints", "budget", "seed", "strategy", "workloads",
+                "objectives"):
+        if fld not in meta:
+            raise ConfigError(f"search report meta lacks {fld!r}")
+    if meta["objectives"] != list(OBJECTIVE_NAMES):
+        raise ConfigError(
+            f"report objectives {meta['objectives']} do not match "
+            f"{list(OBJECTIVE_NAMES)}")
+    front = doc.get("front")
+    if not isinstance(front, list) or not front:
+        raise ConfigError("search report front is missing or empty")
+    vectors = []
+    for row in front:
+        if not isinstance(row, dict) or "label" not in row:
+            raise ConfigError("front rows need at least a label")
+        objectives = row.get("objectives")
+        if (not isinstance(objectives, dict)
+                or set(objectives) != set(OBJECTIVE_NAMES)
+                or not all(isinstance(objectives[k], (int, float))
+                           for k in OBJECTIVE_NAMES)):
+            raise ConfigError(
+                f"front row {row.get('label')!r} has malformed objectives")
+        vectors.append((row["label"],
+                        tuple(objectives[k] for k in OBJECTIVE_NAMES)))
+    for label_a, a in vectors:
+        for label_b, b in vectors:
+            if (label_a != label_b
+                    and all(x <= y for x, y in zip(a, b))
+                    and any(x < y for x, y in zip(a, b))):
+                raise ConfigError(
+                    f"front is not mutually non-dominated: "
+                    f"{label_a} dominates {label_b}")
+    evaluations = doc.get("evaluations")
+    if not isinstance(evaluations, list):
+        raise ConfigError("search report needs an evaluations log")
+    for entry in evaluations:
+        if (not isinstance(entry, dict) or "label" not in entry
+                or entry.get("rank") not in (0, 1, 2)):
+            raise ConfigError(f"malformed evaluation entry: {entry!r}")
+
+
+def validate_report_file(path: str | os.PathLike) -> dict:
+    """Load + validate a report file; returns the document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read search report {path}: {exc}") from exc
+    validate_report(doc)
+    return doc

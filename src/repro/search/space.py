@@ -1,0 +1,159 @@
+"""The searchable design space: hybrid ``(family, t, u)`` points.
+
+A :class:`Candidate` is one buildable design — a hybrid family with its
+subtorus side and uplink density, optionally degraded by a number of
+failed cables (the fault knob lets the search optimise for resilient
+operating points).  :class:`DesignSpace` enumerates, samples, and mutates
+candidates; every candidate it produces passes the typed hybrid-parameter
+validation of :mod:`repro.core.config`, so a search can never propose a
+design that explodes deep inside topology construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import (HYBRID_FAMILIES, VALID_UPLINK_DENSITIES,
+                               TopologySpec, validate_hybrid_params)
+from repro.errors import ConfigError
+
+#: Subtorus sides the search considers (t=1 collapses to a pure fabric and
+#: odd sides only admit u=1; the paper explores powers of two).
+SEARCH_SIDES = (2, 4, 8)
+
+
+@dataclass(frozen=True, order=True)
+class Candidate:
+    """One design point of the search space.
+
+    ``fail_links`` > 0 evaluates the design *degraded*: every simulation
+    cell runs with that many failed duplex cables (seeded by the search),
+    so the front can trade peak performance against fault tolerance.
+    """
+
+    family: str
+    t: int
+    u: int
+    fail_links: int = 0
+
+    def label(self) -> str:
+        base = f"{self.family}({self.t},{self.u})"
+        if self.fail_links:
+            base += f"+{self.fail_links}c"
+        return base
+
+    def topology_label(self) -> str:
+        """Label of the healthy topology (the static-cache key)."""
+        return f"{self.family}({self.t},{self.u})"
+
+    def spec(self) -> TopologySpec:
+        return TopologySpec(self.family, {"t": self.t, "u": self.u})
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Every candidate the search may propose at a given system scale.
+
+    ``endpoints`` is the *full-fidelity* scale; ``pilot_endpoints`` the
+    cheaper rank-1 scale.  Only sides whose subtori tile **both** scales
+    are admitted, so every candidate is buildable at every rung of the
+    fidelity ladder.
+    """
+
+    endpoints: int
+    pilot_endpoints: int | None = None
+    families: tuple[str, ...] = HYBRID_FAMILIES
+    sides: tuple[int, ...] = SEARCH_SIDES
+    densities: tuple[int, ...] = VALID_UPLINK_DENSITIES
+    fault_levels: tuple[int, ...] = (0,)
+    _valid_sides: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for family in self.families:
+            if family not in HYBRID_FAMILIES:
+                raise ConfigError(
+                    f"searchable families are {HYBRID_FAMILIES}, "
+                    f"got {self.family_list()}")
+        for level in self.fault_levels:
+            if not isinstance(level, int) or level < 0:
+                raise ConfigError(
+                    f"fault levels must be non-negative cable counts, "
+                    f"got {self.fault_levels}")
+        scales = [self.endpoints]
+        if self.pilot_endpoints is not None:
+            scales.append(self.pilot_endpoints)
+        valid = tuple(t for t in self.sides
+                      if all(s % (t ** 3) == 0 for s in scales))
+        if not valid:
+            raise ConfigError(
+                f"no subtorus side from {self.sides} tiles "
+                f"{' and '.join(str(s) for s in scales)} endpoints")
+        for t, u in itertools.product(valid, self.densities):
+            validate_hybrid_params("search space", t, u)
+        object.__setattr__(self, "_valid_sides", valid)
+
+    def family_list(self) -> str:
+        return ", ".join(self.families)
+
+    def valid_sides(self) -> tuple[int, ...]:
+        return self._valid_sides
+
+    # ---------------------------------------------------------- enumeration
+    def enumerate(self) -> list[Candidate]:
+        """Every candidate, in deterministic (family, t, u, faults) order."""
+        return [Candidate(f, t, u, fl)
+                for f in self.families
+                for t in self._valid_sides
+                for u in self.densities
+                for fl in self.fault_levels]
+
+    def size(self) -> int:
+        return (len(self.families) * len(self._valid_sides)
+                * len(self.densities) * len(self.fault_levels))
+
+    def __contains__(self, cand: Candidate) -> bool:
+        return (cand.family in self.families
+                and cand.t in self._valid_sides
+                and cand.u in self.densities
+                and cand.fail_links in self.fault_levels)
+
+    # ------------------------------------------------------------- sampling
+    def sample(self, rng: np.random.Generator) -> Candidate:
+        """One uniformly drawn candidate (with replacement)."""
+        return Candidate(
+            family=self.families[int(rng.integers(len(self.families)))],
+            t=self._valid_sides[int(rng.integers(len(self._valid_sides)))],
+            u=self.densities[int(rng.integers(len(self.densities)))],
+            fail_links=self.fault_levels[
+                int(rng.integers(len(self.fault_levels)))])
+
+    def mutate(self, cand: Candidate, rng: np.random.Generator) -> Candidate:
+        """One axis-step away from ``cand`` (the evolutionary move).
+
+        Picks an axis uniformly and steps to a neighbouring value on it;
+        an axis with a single value mutates another instead.  The result
+        is always in the space — the construction-time guard in
+        :func:`repro.core.config.validate_hybrid_params` backstops this,
+        so a buggy mutation fails typed instead of deep in a build.
+        """
+        axes = [("family", self.families), ("t", self._valid_sides),
+                ("u", self.densities), ("fail_links", self.fault_levels)]
+        axes = [(name, vals) for name, vals in axes if len(vals) > 1]
+        if not axes:
+            return cand
+        name, vals = axes[int(rng.integers(len(axes)))]
+        current = vals.index(getattr(cand, name))
+        if current == 0:
+            nxt = 1
+        elif current == len(vals) - 1:
+            nxt = current - 1
+        else:
+            nxt = current + (1 if rng.integers(2) else -1)
+        mutated = dataclasses.replace(cand, **{name: vals[nxt]})
+        validate_hybrid_params(mutated.family, mutated.t, mutated.u,
+                               endpoints=self.endpoints)
+        return mutated

@@ -87,6 +87,7 @@ def run_sweep(plan: SweepPlan, *,
               cell_timeout: float | None = None,
               max_respawns: int = DEFAULT_MAX_RESPAWNS,
               metrics_path: str | os.PathLike | None = None,
+              failures_out: dict[str, dict] | None = None,
               ) -> list[RunRecord]:
     """Execute a sweep plan and return its records in plan order.
 
@@ -136,6 +137,11 @@ def run_sweep(plan: SweepPlan, *,
         cycle still yields exactly one record per cell.  Cells resumed
         from a checkpoint written *without* metrics have none to replay;
         they are counted and reported through ``log``.
+    failures_out:
+        Optional dict the ``keep_going`` failure records are merged into,
+        keyed by cell key — callers like the design search use it to mark
+        candidates infeasible instead of only seeing them vanish from the
+        returned records.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -202,6 +208,8 @@ def run_sweep(plan: SweepPlan, *,
     if failures and log is not None:
         log(f"{len(failures)} cell(s) failed and were recorded as typed "
             f"error entries: {', '.join(sorted(failures))}")
+    if failures_out is not None:
+        failures_out.update(failures)
     return [_to_record(by_key[c.key()]) for c in plan.cells
             if c.key() in by_key]
 

@@ -84,3 +84,27 @@ def ghc_switch_count(ports: int, ports_per_switch: int = 16,
     from repro.topology.ghc import GHCFabric
 
     return GHCFabric.for_ports(ports, ports_per_switch, dims).num_switches
+
+
+def upper_tier_switches(family: str, num_endpoints: int,
+                        u: int | None = None) -> int:
+    """Planned upper-tier switch count of any evaluated family.
+
+    The cost/power objectives are a pure function of the design point —
+    no topology build required — so Table 2 and the search optimizer share
+    this planner-only helper.  The bare torus has no upper tier.
+    """
+    if family == "torus":
+        return 0
+    if family == "fattree":
+        return fattree_switch_count(num_endpoints)
+    if family in ("nesttree", "nestghc"):
+        if u is None or num_endpoints % u:
+            raise ConfigError(
+                f"{family}: uplink density u={u!r} must divide "
+                f"{num_endpoints} endpoints")
+        ports = num_endpoints // u
+        if family == "nestghc":
+            return ghc_switch_count(ports)
+        return fattree_switch_count(ports)
+    raise ConfigError(f"no upper-tier switch planner for family {family!r}")

@@ -1,0 +1,127 @@
+"""Integration tests for run_search and the JSON search report."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.search.fidelity import (RANK_FULL, RANK_STATIC, FidelityLadder,
+                                   LadderEvaluator)
+from repro.search.optimizer import run_search
+from repro.search.pareto import Objectives, promote
+from repro.search.report import (REPORT_SCHEMA_VERSION, render_report,
+                                 validate_report, validate_report_file,
+                                 write_report)
+from repro.search.space import DesignSpace
+from repro.search.strategies import make_strategy
+
+WORKLOADS = ("reduce", "permutation")
+
+
+def small_search(strategy="evolution", seed=7, budget=12, **evaluator_kw):
+    ladder = FidelityLadder.for_scale(64, WORKLOADS, seed=seed,
+                                      static_pairs=300)
+    space = DesignSpace(endpoints=64)
+    evaluator = LadderEvaluator(ladder, **evaluator_kw)
+    return run_search(space, make_strategy(strategy, space, seed=seed),
+                      ladder, budget=budget, evaluator=evaluator)
+
+
+class TestRunSearch:
+    def test_front_is_mutually_nondominated(self):
+        result = small_search()
+        members = result.front.members()
+        assert members
+        for a in members:
+            for b in members:
+                if a.label != b.label:
+                    assert not a.objectives.dominates(b.objectives)
+
+    def test_reports_are_byte_identical_under_a_seed(self):
+        assert render_report(small_search()) == render_report(small_search())
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        for seed in (1, 2):
+            validate_report(json.loads(render_report(small_search(seed=seed))))
+
+    def test_halving_never_promotes_a_dominated_design(self):
+        result = small_search()
+        rank0 = {e["label"]: Objectives(**e["objectives"])
+                 for e in result.evaluations if e["rank"] == RANK_STATIC}
+        simulated = {e["label"] for e in result.evaluations
+                     if e["rank"] == RANK_FULL}
+        assert simulated  # the climb actually happened
+        cap = max(1, math.ceil(len(rank0) / result.halving))
+        assert simulated == set(promote(rank0, cap=cap))
+        for label in simulated:
+            assert not any(rank0[other].dominates(rank0[label])
+                           for other in rank0 if other != label)
+
+    def test_budget_caps_rank0_proposals(self):
+        result = small_search(budget=5)
+        proposals = [e for e in result.evaluations
+                     if e["rank"] == RANK_STATIC]
+        assert len(proposals) <= 5
+        assert result.rank_summary["rank0"]["proposals"] <= 5
+
+    def test_grid_exhausts_below_budget(self):
+        result = small_search(strategy="grid", budget=100)
+        space_size = DesignSpace(endpoints=64).size()
+        assert result.rank_summary["rank0"]["proposals"] == space_size
+        assert result.rank_summary["rank0"]["unique_designs"] == space_size
+
+    def test_collapsed_ladder_skips_rank1(self):
+        result = small_search()
+        assert "skipped" in result.rank_summary["rank1"]
+        assert result.ladder.collapsed()
+
+    def test_references_are_not_budget_consumers(self):
+        result = small_search()
+        labels = {e["label"] for e in result.evaluations}
+        assert "fattree" not in labels and "torus" not in labels
+        assert set(result.references) == {"fattree", "torus"}
+
+    def test_invalid_budget_and_halving_are_typed_errors(self):
+        ladder = FidelityLadder.for_scale(64, WORKLOADS)
+        space = DesignSpace(endpoints=64)
+        with pytest.raises(ConfigError, match="budget"):
+            run_search(space, make_strategy("grid", space), ladder, budget=0)
+        with pytest.raises(ConfigError, match="halving"):
+            run_search(space, make_strategy("grid", space), ladder,
+                       budget=4, halving=1)
+
+
+class TestReport:
+    def test_written_report_round_trips(self, tmp_path):
+        result = small_search()
+        path = write_report(result, tmp_path / "report.json")
+        doc = validate_report_file(path)
+        assert doc["schema"] == REPORT_SCHEMA_VERSION
+        assert doc["meta"]["endpoints"] == 64
+        assert doc["meta"]["workloads"] == list(WORKLOADS)
+        front_labels = {row["label"] for row in doc["front"]}
+        assert {"fattree", "torus"} & front_labels
+
+    def test_validator_rejects_wrong_schema(self):
+        with pytest.raises(ConfigError, match="schema"):
+            validate_report({"schema": "bogus"})
+
+    def test_validator_rejects_dominated_front(self, tmp_path):
+        result = small_search()
+        path = write_report(result, tmp_path / "report.json")
+        doc = validate_report_file(path)
+        doc["front"].append({
+            "label": "impostor", "baseline": False,
+            "objectives": {"makespan": 99.0, "cost": 9.0, "power": 9.0}})
+        with pytest.raises(ConfigError, match="non-dominated"):
+            validate_report(doc)
+
+    def test_validator_rejects_malformed_evaluations(self, tmp_path):
+        result = small_search()
+        doc = validate_report_file(write_report(result, tmp_path / "r.json"))
+        doc["evaluations"].append({"label": "x", "rank": 9})
+        with pytest.raises(ConfigError, match="malformed evaluation"):
+            validate_report(doc)

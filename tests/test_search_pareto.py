@@ -1,0 +1,112 @@
+"""Tests for Pareto dominance bookkeeping (repro.search.pareto)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.pareto import (Objectives, ParetoFront, nondominated,
+                                 promote)
+
+
+def obj(makespan, cost=0.0, power=0.0) -> Objectives:
+    return Objectives(makespan=makespan, cost=cost, power=power)
+
+
+def random_entries(rng, n) -> dict[str, Objectives]:
+    return {f"d{i}": obj(*rng.uniform(0.0, 2.0, size=3)) for i in range(n)}
+
+
+def mutually_nondominated(vectors: list[Objectives]) -> bool:
+    return not any(a.dominates(b)
+                   for a in vectors for b in vectors if a is not b)
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert obj(1.0, 0.1, 0.1).dominates(obj(2.0, 0.2, 0.2))
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert obj(1.0, 0.1, 0.1).dominates(obj(1.0, 0.2, 0.1))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not obj(1.0, 0.1, 0.1).dominates(obj(1.0, 0.1, 0.1))
+
+    def test_tradeoff_is_incomparable(self):
+        fast_costly, slow_cheap = obj(1.0, 0.3, 0.1), obj(2.0, 0.0, 0.0)
+        assert not fast_costly.dominates(slow_cheap)
+        assert not slow_cheap.dominates(fast_costly)
+
+
+class TestParetoFront:
+    def test_dominated_insert_is_rejected(self):
+        front = ParetoFront()
+        assert front.add("good", obj(1.0, 0.1, 0.1))
+        assert not front.add("bad", obj(2.0, 0.2, 0.2))
+        assert "bad" not in front and len(front) == 1
+
+    def test_dominating_insert_evicts_members(self):
+        front = ParetoFront()
+        front.add("a", obj(2.0, 0.2, 0.2))
+        front.add("b", obj(1.5, 0.3, 0.3))
+        assert front.add("best", obj(1.0, 0.1, 0.1))
+        assert front.members() == [m for m in front.members()
+                                   if m.label == "best"]
+
+    def test_duplicate_label_updates_in_place(self):
+        front = ParetoFront()
+        front.add("a", obj(2.0, 0.0, 0.0))
+        front.add("a", obj(1.0, 0.0, 0.0))
+        assert len(front) == 1
+        assert front.members()[0].objectives.makespan == 1.0
+
+    def test_iteration_order_is_insertion_independent(self):
+        entries = [("a", obj(1.0, 0.3, 0.3)), ("b", obj(2.0, 0.2, 0.2)),
+                   ("c", obj(3.0, 0.1, 0.1))]
+        forward, backward = ParetoFront(), ParetoFront()
+        for label, o in entries:
+            forward.add(label, o)
+        for label, o in reversed(entries):
+            backward.add(label, o)
+        assert ([m.label for m in forward.members()]
+                == [m.label for m in backward.members()])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_front_stays_mutually_nondominated(self, seed):
+        rng = np.random.default_rng(seed)
+        front = ParetoFront()
+        for label, o in random_entries(rng, 60).items():
+            front.add(label, o)
+        members = front.members()
+        assert members
+        assert mutually_nondominated([m.objectives for m in members])
+
+
+class TestPromotion:
+    def test_never_promotes_a_dominated_candidate(self):
+        entries = {"winner": obj(1.0, 0.1, 0.1),
+                   "dominated": obj(2.0, 0.2, 0.2),
+                   "tradeoff": obj(3.0, 0.0, 0.0)}
+        # cap is big enough for everything, yet the dominated entry stays
+        assert promote(entries, cap=3) == ["winner", "tradeoff"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_promoted_subset_of_nondominated(self, seed):
+        rng = np.random.default_rng(seed)
+        entries = random_entries(rng, 40)
+        for cap in (1, 3, 40):
+            promoted = promote(entries, cap=cap)
+            assert len(promoted) <= cap
+            assert set(promoted) <= set(nondominated(entries))
+            for label in promoted:
+                assert not any(entries[other].dominates(entries[label])
+                               for other in entries if other != label)
+
+    def test_zero_cap_promotes_nothing(self):
+        assert promote({"a": obj(1.0)}, cap=0) == []
+
+    def test_nondominated_order_is_deterministic(self):
+        rng = np.random.default_rng(5)
+        entries = random_entries(rng, 30)
+        shuffled = dict(sorted(entries.items(), reverse=True))
+        assert nondominated(entries) == nondominated(shuffled)

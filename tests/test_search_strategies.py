@@ -1,0 +1,145 @@
+"""Tests for the design space and proposal strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HYBRID_FAMILIES
+from repro.errors import ConfigError
+from repro.search.pareto import Objectives
+from repro.search.space import Candidate, DesignSpace
+from repro.search.strategies import (EvolutionStrategy, SearchStrategy,
+                                     available_strategies, make_strategy)
+
+
+def space_512() -> DesignSpace:
+    return DesignSpace(endpoints=512)
+
+
+class TestCandidate:
+    def test_labels(self):
+        assert Candidate("nesttree", 2, 4).label() == "nesttree(2,4)"
+        degraded = Candidate("nestghc", 4, 2, fail_links=3)
+        assert degraded.label() == "nestghc(4,2)+3c"
+        assert degraded.topology_label() == "nestghc(4,2)"
+
+    def test_spec_builds_the_right_family(self):
+        spec = Candidate("nesttree", 2, 2).spec()
+        assert spec.label() == "nesttree(2,2)"
+        topo = spec.build(64)
+        assert topo.num_endpoints == 64
+
+
+class TestDesignSpace:
+    def test_enumeration_is_deterministic_and_complete(self):
+        space = space_512()
+        cands = space.enumerate()
+        assert len(cands) == space.size() == len(HYBRID_FAMILIES) * 3 * 4
+        assert cands == space.enumerate()
+        assert all(c in space for c in cands)
+
+    def test_sides_must_tile_both_scales(self):
+        # t=8 tiles 512 but not a 64-endpoint pilot
+        space = DesignSpace(endpoints=512, pilot_endpoints=64)
+        assert 8 not in space.valid_sides()
+        assert Candidate("nesttree", 8, 1) not in space
+
+    def test_untileable_scale_is_a_typed_error(self):
+        with pytest.raises(ConfigError, match="tiles"):
+            DesignSpace(endpoints=12)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigError, match="searchable families"):
+            DesignSpace(endpoints=512, families=("dragonfly",))
+
+    def test_negative_fault_level_rejected(self):
+        with pytest.raises(ConfigError, match="fault levels"):
+            DesignSpace(endpoints=512, fault_levels=(-1,))
+
+    def test_sample_and_mutate_stay_in_space(self):
+        space = DesignSpace(endpoints=512, fault_levels=(0, 2))
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            cand = space.sample(rng)
+            assert cand in space
+            mutated = space.mutate(cand, rng)
+            assert mutated in space
+
+    def test_mutation_is_a_single_axis_step(self):
+        space = DesignSpace(endpoints=512, fault_levels=(0, 2))
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            cand = space.sample(rng)
+            mutated = space.mutate(cand, rng)
+            changed = sum(getattr(cand, f) != getattr(mutated, f)
+                          for f in ("family", "t", "u", "fail_links"))
+            assert changed == 1
+
+
+class TestStrategies:
+    def test_registry(self):
+        assert available_strategies() == ["evolution", "grid", "random"]
+        with pytest.raises(ConfigError, match="unknown search strategy"):
+            make_strategy("annealing", space_512())
+
+    def test_all_satisfy_the_protocol(self):
+        for name in available_strategies():
+            assert isinstance(make_strategy(name, space_512()),
+                              SearchStrategy)
+
+    def test_grid_enumerates_once_then_exhausts(self):
+        space = space_512()
+        grid = make_strategy("grid", space)
+        seen: list[Candidate] = []
+        while batch := grid.propose(5):
+            seen.extend(batch)
+        assert seen == space.enumerate()
+        assert grid.propose(5) == []
+
+    def test_random_is_deterministic_under_seed(self):
+        space = space_512()
+        a = make_strategy("random", space, seed=7).propose(20)
+        b = make_strategy("random", space, seed=7).propose(20)
+        assert a == b
+        assert all(c in space for c in a)
+        assert make_strategy("random", space, seed=8).propose(20) != a
+
+    def test_evolution_mutates_nondominated_parents(self):
+        space = space_512()
+        evo = EvolutionStrategy(space, seed=0, immigrant_rate=0.0)
+        parent = Candidate("nesttree", 2, 2)
+        evo.observe([
+            (parent, Objectives(1.0, 0.1, 0.1)),
+            (Candidate("nesttree", 2, 1), Objectives(2.0, 0.2, 0.2)),
+        ])
+        children = evo.propose(10)
+        # the dominated design never parents; every child is one step
+        # away from the sole archive member
+        for child in children:
+            changed = sum(getattr(parent, f) != getattr(child, f)
+                          for f in ("family", "t", "u", "fail_links"))
+            assert changed == 1
+
+    def test_evolution_drops_infeasible_parents(self):
+        space = space_512()
+        evo = EvolutionStrategy(space, seed=0, immigrant_rate=0.0)
+        cand = Candidate("nesttree", 2, 2)
+        evo.observe([(cand, Objectives(1.0, 0.1, 0.1))])
+        evo.observe([(cand, None)])  # turned out infeasible at simulation
+        assert evo._parents() == []
+        assert len(evo.propose(5)) == 5  # falls back to random sampling
+
+    def test_evolution_deterministic_under_seed(self):
+        space = space_512()
+        runs = []
+        for _ in range(2):
+            evo = EvolutionStrategy(space, seed=3)
+            history = []
+            for objective in (1.0, 1.5, 0.5):
+                batch = evo.propose(4)
+                history.append(batch)
+                evo.observe([(c, Objectives(objective, 0.1, 0.1))
+                             for c in batch])
+            runs.append(history)
+        assert runs[0] == runs[1]
