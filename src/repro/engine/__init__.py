@@ -7,6 +7,7 @@ it on a topology under max-min fair bandwidth sharing, and
 link-load view.
 """
 
+from repro.engine.active import ActiveSet
 from repro.engine.flows import FlowBuilder, FlowSet
 from repro.engine.maxmin import allocate, bottleneck_lower_bound
 from repro.engine.results import LinkLoadReport, SimulationResult
@@ -15,6 +16,7 @@ from repro.engine.static import analyze
 from repro.engine.trace import per_task_stats, timeline_rows, to_csv
 
 __all__ = [
+    "ActiveSet",
     "FlowBuilder",
     "FlowSet",
     "LinkLoadReport",

@@ -28,6 +28,10 @@ class SimulationResult:
     #: allocator statistics, span timers) when the run was instrumented
     #: with a :class:`repro.obs.MetricsCollector`; ``None`` otherwise.
     metrics: dict | None = None
+    #: Which bandwidth allocator ran and how its work split
+    #: (``{"allocator", "full_passes", "warm_fills"}``); ``None`` for a
+    #: run that never allocated (empty flow set).
+    allocator_stats: dict | None = None
 
     @property
     def aggregate_throughput(self) -> float:

@@ -20,6 +20,14 @@ and re-allocating rates.  Two fidelities are offered:
 
 Completion ties within a relative window are batched, which keeps the event
 count low for the highly symmetric collectives the paper uses.
+
+Bandwidth allocations run through a persistent
+:class:`~repro.engine.active.ActiveSet` that maintains the flow→link
+incidence across events (O(changed routes) membership updates, pooled CSR
+buffers, warm-started progressive filling); ``allocator="rebuild"`` selects
+the historical rebuild-from-scratch path — the reference baseline the
+engine benchmark compares against.  Both produce identical rates (the
+incremental allocator is exact, see ``docs/simulation-model.md``).
 """
 
 from __future__ import annotations
@@ -29,8 +37,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.engine.active import ActiveSet
 from repro.engine.flows import FlowSet
-from repro.engine.maxmin import allocate
+from repro.engine.maxmin import _slices_concat, allocate
 from repro.engine.results import SimulationResult
 from repro.errors import SimulationError
 from repro.topology.base import Topology
@@ -46,6 +55,8 @@ CHURN_FRACTION = 0.05
 
 _FIDELITIES = ("exact", "approx")
 
+_ALLOCATORS = ("incremental", "rebuild")
+
 #: Shared route for flows whose tasks are placed on the same endpoint.
 _EMPTY_ROUTE = np.empty(0, dtype=np.int64)
 
@@ -55,7 +66,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
              fidelity: str = "exact",
              max_events: int = 50_000_000,
              route_cache: dict[tuple[int, int], np.ndarray] | None = None,
-             metrics: MetricsCollector | None = None
+             metrics: MetricsCollector | None = None,
+             allocator: str = "incremental"
              ) -> SimulationResult:
     """Run a workload on a topology and return completion statistics.
 
@@ -86,9 +98,18 @@ def simulate(topology: Topology, flows: FlowSet, *,
         per-link delivered bits and busy time, allocator statistics, and
         span timers, and attaches its snapshot as ``result.metrics``.
         The default (``None``) adds no work to the event loop.
+    allocator:
+        ``"incremental"`` (default) keeps the flow→link incidence alive
+        across events and warm-starts allocations; ``"rebuild"`` runs the
+        historical engine — per-event Python active-list maintenance, CSR
+        reconstruction and a from-scratch reference allocation — kept
+        verbatim for verification and as the engine benchmark's baseline.
+        Both are exact — rates and makespans agree.
     """
     if fidelity not in _FIDELITIES:
         raise SimulationError(f"fidelity must be one of {_FIDELITIES}")
+    if allocator not in _ALLOCATORS:
+        raise SimulationError(f"allocator must be one of {_ALLOCATORS}")
     placement = _check_placement(topology, flows, placement)
     collector = metrics
 
@@ -102,15 +123,20 @@ def simulate(topology: Topology, flows: FlowSet, *,
                                 reallocations=0, events=0, total_bits=0.0,
                                 metrics=snap)
 
+    if allocator == "rebuild":
+        return _simulate_rebuild(topology, flows, placement, fidelity,
+                                 max_events, route_cache, collector)
+
     capacities = topology.links.capacities
     remaining = flows.size.copy()
     indegree = flows.indegree.copy()
     completion = np.full(n, np.nan)
     start = np.full(n, np.nan)
     weighted = flows.is_weighted
+    weight_arr = flows.weight
 
-    # per-flow routes; identical (src, dst) pairs share one array
-    routes: list[np.ndarray | None] = [None] * n
+    active = ActiveSet(capacities, weighted=weighted)
+
     if route_cache is None:
         route_cache = {}
     src_ep = placement[flows.src]
@@ -134,8 +160,7 @@ def simulate(topology: Topology, flows: FlowSet, *,
 
     completed_count = 0
 
-    def inject(fid: int, t: float, rate: float,
-               out_ids: list[int], out_rates: list[float]) -> None:
+    def inject(fid: int, t: float, rate: float) -> int:
         """Mark a flow ready at ``t``; zero-hop flows complete instantly.
 
         A flow whose route is empty (its tasks share an endpoint) never
@@ -143,7 +168,232 @@ def simulate(topology: Topology, flows: FlowSet, *,
         max-min allocation is undefined for it.  It completes at its
         release time, which can cascade through chains of co-located
         dependents; the cascade is iterative to keep deep chains safe.
+        Returns the number of flows that entered the network.
         """
+        nonlocal completed_count
+        admitted = 0
+        stack = [(fid, rate)]
+        while stack:
+            f, r = stack.pop()
+            start[f] = t
+            route = route_of(f)
+            if collector is not None:
+                collector.flow_injected(float(flows.size[f]), route.shape[0])
+            if route.shape[0]:
+                active.add(f, route, rate=r,
+                           weight=float(weight_arr[f]) if weighted else 1.0)
+                admitted += 1
+                continue
+            completion[f] = t
+            remaining[f] = 0.0
+            completed_count += 1
+            for succ in flows.successors(f).tolist():
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    stack.append((succ, r))
+        return admitted
+
+    succ_indptr = flows.succ_indptr
+    succ_indices = flows.succ_indices
+
+    def admit_batch(ready: np.ndarray, t: float) -> int:
+        """Admit a batch of ready flows at ``t`` in one vectorised pass.
+
+        All admitted flows start at ``t`` with a zero seeded rate (every
+        caller reallocates before any rate is read).  Zero-hop flows fall
+        back to the per-flow cascade.  Returns the number of flows that
+        entered the network.
+        """
+        admitted = 0
+        zero_hop = src_ep[ready] == dst_ep[ready]
+        routed = ready[~zero_hop]
+        if routed.shape[0]:
+            start[routed] = t
+            route_list = [route_of(f) for f in routed.tolist()]
+            active.add_many(routed, route_list,
+                            weights=weight_arr[routed] if weighted else None)
+            if collector is not None:
+                for f, r in zip(routed.tolist(), route_list):
+                    collector.flow_injected(float(flows.size[f]),
+                                            r.shape[0])
+            admitted += routed.shape[0]
+        for f in ready[zero_hop].tolist():
+            admitted += inject(f, t, 0.0)
+        return admitted
+
+    def release_batch(done_ids: np.ndarray, t: float) -> int:
+        """Release every successor of a completed batch (vectorised).
+
+        Equivalent to the per-flow successor walk (all released flows
+        start at ``t`` and exact mode reallocates before any rate is
+        read), but the indegree updates and admissions are batched.
+        Returns the number of flows admitted to the network.
+        """
+        succs = succ_indices[_slices_concat(succ_indptr[done_ids],
+                                            succ_indptr[done_ids + 1])]
+        if succs.shape[0] == 0:
+            return 0
+        uniq, cnt = np.unique(succs, return_counts=True)
+        indegree[uniq] -= cnt
+        ready = uniq[indegree[uniq] == 0]
+        if ready.shape[0] == 0:
+            return 0
+        return admit_batch(ready, t)
+
+    roots = flows.roots()
+    if roots.shape[0] == 0:
+        raise SimulationError("no injectable flows: dependency graph has no roots")
+    admit_batch(roots, 0.0)
+
+    now = 0.0
+    events = 0
+    reallocations = 0
+    churn = active.size   # everything new -> allocate on first iteration
+    alloc_size = 0
+    loop_t0 = time.perf_counter() if collector is not None else 0.0
+
+    while completed_count < n:
+        if active.size == 0:
+            raise SimulationError(
+                f"simulation stalled with {n - completed_count} flows blocked "
+                "(cyclic or unsatisfiable dependencies)")
+        if fidelity == "exact" or churn >= max(1.0, CHURN_FRACTION * alloc_size):
+            stats: dict | None = {} if collector is not None else None
+            t0 = time.perf_counter() if collector is not None else 0.0
+            active.allocate(stats=stats)
+            if collector is not None:
+                assert stats is not None
+                if stats.get("warm"):
+                    reason = "warm"
+                elif fidelity == "exact":
+                    reason = "forced"
+                else:
+                    reason = "initial" if reallocations == 0 else "churn"
+                collector.record_allocation(active.size, stats["iterations"],
+                                            reason,
+                                            time.perf_counter() - t0)
+            reallocations += 1
+            churn = 0
+            alloc_size = active.size
+
+        ids = active.flow_ids
+        rates = active.rates
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # a zero or NaN rate yields a non-finite deadline, reported as
+            # a typed error below — never as a numpy RuntimeWarning
+            deadlines = remaining[ids] / rates
+        dt = float(deadlines.min())
+        if not np.isfinite(dt):
+            # a rate the allocator froze at a numerically-zero level (or a
+            # 0/0 with an already-drained flow) has no defined deadline
+            bad = ids[~np.isfinite(deadlines)]
+            raise SimulationError(
+                f"flow(s) {bad.tolist()[:8]} have a non-finite completion "
+                f"deadline: the allocator froze them at zero rate "
+                f"(fidelity={fidelity!r}, event {events})")
+        # absolute+relative tie window: a pure relative one collapses to a
+        # no-op when dt == 0 (simultaneous zero-size flows would then churn
+        # one event each instead of batching)
+        done_mask = deadlines <= dt + max(dt, 1.0) * _TIE_EPS
+        if collector is not None:
+            collector.account_event(active.route_list(), rates, dt)
+        now += dt
+        remaining[ids] -= rates * dt
+
+        done_ids = ids[done_mask]        # materialised: removal moves slots
+        done_rates = rates[done_mask]
+        remaining[done_ids] = 0.0
+        released = 0
+        if fidelity == "exact":
+            # rates are reallocated before any released flow's rate is
+            # read, so the whole completion batch processes vectorised
+            completion[done_ids] = now
+            active.remove_many(done_ids)
+            released = release_batch(done_ids, now)
+        else:
+            for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
+                completion[fid] = now
+                active.remove(fid)
+                for succ in flows.successors(fid).tolist():
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        # rate is inherited by the release (approx mode)
+                        released += inject(succ, now, rate)
+        completed_count += int(done_mask.sum())
+        events += 1
+        if events > max_events:
+            raise SimulationError(f"exceeded {max_events} events")
+        churn += done_ids.shape[0] + released
+
+    snap = None
+    if collector is not None:
+        collector.add_time("event_loop", time.perf_counter() - loop_t0)
+        snap = collector.snapshot(topology, now)
+    return SimulationResult(
+        makespan=now,
+        completion_times=completion,
+        start_times=start,
+        fidelity=fidelity,
+        num_flows=n,
+        reallocations=reallocations,
+        events=events,
+        total_bits=flows.total_bits,
+        metrics=snap,
+        allocator_stats={"allocator": allocator,
+                         "full_passes": active.full_passes,
+                         "warm_fills": active.warm_fills},
+    )
+
+
+def _simulate_rebuild(topology: Topology, flows: FlowSet,
+                      placement: np.ndarray, fidelity: str,
+                      max_events: int,
+                      route_cache: dict[tuple[int, int], np.ndarray] | None,
+                      collector: MetricsCollector | None
+                      ) -> SimulationResult:
+    """The historical rebuild-per-event engine, kept verbatim.
+
+    Every event re-materialises the active list (Python list filtering),
+    re-concatenates all active routes into a fresh CSR, and hands it to
+    the reference :func:`repro.engine.maxmin.allocate` to recompute
+    progressive filling from zero state.  This is the baseline the
+    incremental engine is benchmarked and verified against — both
+    produce identical rates, makespans and event counts.
+    """
+    n = flows.num_flows
+    capacities = topology.links.capacities
+    remaining = flows.size.copy()
+    indegree = flows.indegree.copy()
+    completion = np.full(n, np.nan)
+    start = np.full(n, np.nan)
+    weighted = flows.is_weighted
+    routes: list[np.ndarray | None] = [None] * n
+
+    if route_cache is None:
+        route_cache = {}
+    src_ep = placement[flows.src]
+    dst_ep = placement[flows.dst]
+
+    def route_of(fid: int) -> np.ndarray:
+        key = (int(src_ep[fid]), int(dst_ep[fid]))
+        if key[0] == key[1]:
+            return _EMPTY_ROUTE
+        cached = route_cache.get(key)
+        if cached is None:
+            if collector is None:
+                cached = np.asarray(topology.route(*key), dtype=np.int64)
+            else:
+                t0 = time.perf_counter()
+                cached = np.asarray(topology.route(*key), dtype=np.int64)
+                collector.add_time("route_construction",
+                                   time.perf_counter() - t0)
+            route_cache[key] = cached
+        return cached
+
+    completed_count = 0
+
+    def inject(fid: int, t: float, rate: float,
+               out_ids: list[int], out_rates: list[float]) -> None:
         nonlocal completed_count
         stack = [(fid, rate)]
         while stack:
@@ -208,19 +458,17 @@ def simulate(topology: Topology, flows: FlowSet, *,
             alloc_size = len(active)
 
         ids = np.asarray(active, dtype=np.int64)
-        deadlines = remaining[ids] / rates
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # a zero or NaN rate yields a non-finite deadline, reported as
+            # a typed error below — never as a numpy RuntimeWarning
+            deadlines = remaining[ids] / rates
         dt = float(deadlines.min())
         if not np.isfinite(dt):
-            # a rate the allocator froze at a numerically-zero level (or a
-            # 0/0 with an already-drained flow) has no defined deadline
             bad = ids[~np.isfinite(deadlines)]
             raise SimulationError(
                 f"flow(s) {bad.tolist()[:8]} have a non-finite completion "
                 f"deadline: the allocator froze them at zero rate "
                 f"(fidelity={fidelity!r}, event {events})")
-        # absolute+relative tie window: a pure relative one collapses to a
-        # no-op when dt == 0 (simultaneous zero-size flows would then churn
-        # one event each instead of batching)
         done_mask = deadlines <= dt + max(dt, 1.0) * _TIE_EPS
         if collector is not None:
             collector.account_event([routes[f] for f in active], rates, dt)
@@ -265,6 +513,9 @@ def simulate(topology: Topology, flows: FlowSet, *,
         events=events,
         total_bits=flows.total_bits,
         metrics=snap,
+        allocator_stats={"allocator": "rebuild",
+                         "full_passes": reallocations,
+                         "warm_fills": 0},
     )
 
 
@@ -279,6 +530,10 @@ def _check_placement(topology: Topology, flows: FlowSet,
     placement = np.asarray(placement, dtype=np.int64)
     if placement.shape != (flows.num_tasks,):
         raise SimulationError(f"placement must map all {flows.num_tasks} tasks")
+    if placement.size == 0:
+        # a zero-task workload's placement is vacuously valid; numpy's
+        # min()/max() on a zero-size array would raise an opaque ValueError
+        return placement
     if placement.min() < 0 or placement.max() >= topology.num_endpoints:
         raise SimulationError("placement maps tasks outside the topology")
     return placement

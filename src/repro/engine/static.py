@@ -22,20 +22,43 @@ from repro.topology.base import Topology
 
 
 def analyze(topology: Topology, flows: FlowSet, *,
-            placement: np.ndarray | None = None) -> LinkLoadReport:
-    """Route all flows and report per-link loads and the bottleneck bound."""
+            placement: np.ndarray | None = None,
+            route_cache: dict[tuple[int, int], np.ndarray] | None = None
+            ) -> LinkLoadReport:
+    """Route all flows and report per-link loads and the bottleneck bound.
+
+    ``route_cache`` is the same ``(src endpoint, dst endpoint) -> link-id
+    array`` dict :func:`repro.engine.simulate` takes, so one cache per
+    topology serves both modes (the search rank-0 proxies and the sweep
+    runner share theirs this way).  Repeated ``(src, dst)`` pairs are
+    deduplicated before routing: each distinct pair is routed exactly
+    once with its sizes pre-summed, instead of re-routing per flow.
+    """
     placement = _check_placement(topology, flows, placement)
     capacities = topology.links.capacities
     loads = np.zeros(capacities.shape[0], dtype=np.float64)
+    if route_cache is None:
+        route_cache = {}
 
     src_ep = placement[flows.src]
     dst_ep = placement[flows.dst]
-    sizes = flows.size
-    for i in range(flows.num_flows):
-        s, d = int(src_ep[i]), int(dst_ep[i])
-        if s == d:
-            continue  # zero-hop: co-located tasks load no link
-        loads[topology.route(s, d)] += sizes[i]
+    network = src_ep != dst_ep  # zero-hop: co-located tasks load no link
+    if network.any():
+        # dedupe (src, dst) pairs and accumulate their total bytes first
+        pair_key = (src_ep[network].astype(np.int64)
+                    * np.int64(topology.num_endpoints)
+                    + dst_ep[network])
+        unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+        totals = np.bincount(inverse, weights=flows.size[network],
+                             minlength=unique_keys.shape[0])
+        num_ep = topology.num_endpoints
+        for key, total in zip(unique_keys.tolist(), totals.tolist()):
+            s, d = divmod(key, num_ep)
+            route = route_cache.get((s, d))
+            if route is None:
+                route = np.asarray(topology.route(s, d), dtype=np.int64)
+                route_cache[(s, d)] = route
+            loads[route] += total
 
     bottleneck = float(np.max(loads / capacities)) if loads.size else 0.0
     return LinkLoadReport(

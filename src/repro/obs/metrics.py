@@ -16,7 +16,8 @@ What the engine feeds the collector:
   at least one flow);
 * per-allocation **batch size**, **progressive-filling iterations** and
   the trigger (``forced`` for exact mode's per-event reallocation,
-  ``churn``/``initial`` for approx mode's bounded-churn policy);
+  ``churn``/``initial`` for approx mode's bounded-churn policy, ``warm``
+  for the incremental allocator's O(changed) warm-started fills);
 * **span timers** around route construction, bandwidth allocation, and
   the whole event loop.
 
@@ -78,7 +79,8 @@ class MetricsCollector:
         self.batch_flows_max = 0
         self.filling_iterations_total = 0
         self.filling_iterations_max = 0
-        self.alloc_reasons = {"forced": 0, "churn": 0, "initial": 0}
+        self.alloc_reasons = {"forced": 0, "churn": 0, "initial": 0,
+                              "warm": 0}
         self.timers_s: dict[str, float] = {}
 
     # ------------------------------------------------------------- feed sites
@@ -177,6 +179,9 @@ class MetricsCollector:
                 "churn_reallocations": self.alloc_reasons.get("churn", 0),
                 "forced_reallocations": self.alloc_reasons.get("forced", 0),
                 "initial_allocations": self.alloc_reasons.get("initial", 0),
+                # not in _ALLOCATOR_FIELDS: snapshots written before the
+                # incremental allocator existed must keep validating
+                "warm_reallocations": self.alloc_reasons.get("warm", 0),
             },
             "timers_s": {k: float(v) for k, v in sorted(self.timers_s.items())},
             "tiers": tiers,

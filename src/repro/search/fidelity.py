@@ -31,6 +31,8 @@ import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import (DEFAULT_QUADRATIC_TASKS, TopologySpec,
                                baseline_specs)
 from repro.core.explorer import PLACEMENT_POLICY, workload_spec_for
@@ -206,8 +208,12 @@ class LadderEvaluator:
                                   seed=self.ladder.seed)
         bottleneck: dict[str, float] = {}
         imbalance: dict[str, float] = {}
+        # one route cache per topology, shared by every workload's static
+        # pass (same dict format simulate() takes)
+        route_cache: dict[tuple[int, int], np.ndarray] = {}
         for wname, (flows, placement) in self._workload_inputs().items():
-            report = analyze(topo, flows, placement=placement)
+            report = analyze(topo, flows, placement=placement,
+                             route_cache=route_cache)
             bottleneck[wname] = report.bottleneck_time
             imbalance[wname] = load_imbalance(topo, report)
         metrics = StaticMetrics(avg_distance=stats.average,

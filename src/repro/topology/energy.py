@@ -140,7 +140,11 @@ def compare(topologies: dict[str, Topology], flows, *,
 
     out: dict[str, EnergyReport] = {}
     for label, topo in topologies.items():
-        sim = simulate(topo, flows, fidelity=fidelity)
-        loads = analyze(topo, flows)
+        # the dynamic run and the static pass route the same pairs on the
+        # same machine; one shared cache routes each pair once
+        route_cache: dict = {}
+        sim = simulate(topo, flows, fidelity=fidelity,
+                       route_cache=route_cache)
+        loads = analyze(topo, flows, route_cache=route_cache)
         out[label] = estimate(topo, loads, sim.makespan, model=model)
     return out

@@ -27,6 +27,8 @@ class LinkTable:
         self._dst: list[int] = []
         self._cap: list[float] = []
         self._frozen: np.ndarray | None = None
+        self._src_arr: np.ndarray | None = None
+        self._dst_arr: np.ndarray | None = None
 
     # ------------------------------------------------------------------ build
     def add(self, u: int, v: int, capacity: float) -> int:
@@ -99,14 +101,35 @@ class LinkTable:
         return self._frozen
 
     @property
-    def sources(self) -> list[int]:
-        """Source vertex per link id (list indexable by link id)."""
-        return self._src
+    def sources(self) -> np.ndarray:
+        """Source vertex per link id (read-only array indexable by link id).
+
+        Like :meth:`pairs`, this never exposes the internal mutable state:
+        callers get an immutable view (cached once the table is frozen, a
+        fresh read-only copy while it is still being built), so the link
+        registry cannot be corrupted after freeze.
+        """
+        if self._frozen is not None:
+            if self._src_arr is None:
+                self._src_arr = self._readonly(self._src)
+            return self._src_arr
+        return self._readonly(self._src)
 
     @property
-    def destinations(self) -> list[int]:
-        """Destination vertex per link id (list indexable by link id)."""
-        return self._dst
+    def destinations(self) -> np.ndarray:
+        """Destination vertex per link id (read-only array, see
+        :attr:`sources`)."""
+        if self._frozen is not None:
+            if self._dst_arr is None:
+                self._dst_arr = self._readonly(self._dst)
+            return self._dst_arr
+        return self._readonly(self._dst)
+
+    @staticmethod
+    def _readonly(values: list[int]) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
 
     def pairs(self) -> dict[tuple[int, int], int]:
         """A copy of the ``(u, v) -> id`` mapping (for tests/analysis)."""

@@ -95,3 +95,40 @@ class TestCapacities:
         pairs = t.pairs()
         pairs[(9, 9)] = 99
         assert not t.has(9, 9)
+
+
+class TestEndpointViews:
+    """sources/destinations must never expose mutable internal state."""
+
+    def test_arrays_match_registration_order(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        t.add(3, 2, 1.0)
+        assert t.sources.tolist() == [0, 3]
+        assert t.destinations.tolist() == [1, 2]
+
+    def test_views_are_read_only(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        for arr in (t.sources, t.destinations):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+        t.freeze()
+        for arr in (t.sources, t.destinations):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_frozen_views_are_cached(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        t.freeze()
+        assert t.sources is t.sources
+        assert t.destinations is t.destinations
+
+    def test_unfrozen_views_track_additions(self):
+        t = LinkTable()
+        t.add(0, 1, 1.0)
+        before = t.sources
+        t.add(5, 6, 1.0)
+        assert before.tolist() == [0]       # a snapshot, not an alias
+        assert t.sources.tolist() == [0, 5]

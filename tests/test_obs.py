@@ -312,6 +312,23 @@ class TestZeroRateGuard:
         flows = FlowBuilder(small_torus.num_endpoints)
         flows.add_flow(0, 1, CAP * 0.1)
         with pytest.raises(SimulationError, match=r"flow\(s\) \[0\]"):
+            simulate(small_torus, flows.build(), allocator="rebuild")
+
+    def test_frozen_zero_rate_raises_typed_error_incremental(
+            self, small_torus, monkeypatch):
+        from repro.engine.active import ActiveSet
+
+        def zero_allocate(self, stats=None):
+            if stats is not None:
+                stats["iterations"] = 0
+                stats["warm"] = False
+            self._rates[:self._m] = 0.0
+            return self._rates[:self._m]
+
+        monkeypatch.setattr(ActiveSet, "allocate", zero_allocate)
+        flows = FlowBuilder(small_torus.num_endpoints)
+        flows.add_flow(0, 1, CAP * 0.1)
+        with pytest.raises(SimulationError, match=r"flow\(s\) \[0\]"):
             simulate(small_torus, flows.build())
 
     def test_error_names_fidelity(self, small_torus, monkeypatch):
@@ -324,7 +341,8 @@ class TestZeroRateGuard:
         flows = FlowBuilder(small_torus.num_endpoints)
         flows.add_flow(2, 3, CAP * 0.1)
         with pytest.raises(SimulationError, match="fidelity='approx'"):
-            simulate(small_torus, flows.build(), fidelity="approx")
+            simulate(small_torus, flows.build(), fidelity="approx",
+                     allocator="rebuild")
 
 
 class TestZeroByteTieWindow:

@@ -252,3 +252,53 @@ class TestZeroHopPlacements:
         assert (0, 3) in cache
         again = simulate(line, b.build(), route_cache=cache)
         assert again.makespan == first.makespan
+
+
+class TestPlacementEdgeCases:
+    """Regression tests for the zero-length placement and the warning-free
+    non-finite deadline guard."""
+
+    def test_zero_task_placement_is_vacuously_valid(self, line):
+        # zero tasks used to crash _check_placement with numpy's opaque
+        # "zero-size array to reduction operation" ValueError
+        from dataclasses import replace
+
+        from repro.engine.simulator import _check_placement
+
+        empty = np.empty(0, dtype=np.int64)
+        flows = replace(
+            FlowBuilder(1).build(), num_tasks=0,
+            src=empty, dst=empty, size=np.empty(0), weight=np.empty(0),
+            indegree=empty)
+        out = _check_placement(line, flows, empty)
+        assert out.shape == (0,)
+        # and the full simulate() path stays on the empty-workload exit
+        r = simulate(line, flows, placement=empty)
+        assert r.makespan == 0.0 and r.num_flows == 0
+
+    def test_zero_rate_guard_emits_no_runtime_warning(self, line):
+        # the non-finite deadline check must fire as a typed error without
+        # numpy divide/invalid RuntimeWarnings escaping first
+        import warnings
+
+        from repro.engine.active import ActiveSet
+
+        def zero_allocate(self, stats=None):
+            if stats is not None:
+                stats["iterations"] = 0
+                stats["warm"] = False
+            self._rates[:self._m] = 0.0
+            return self._rates[:self._m]
+
+        b = FlowBuilder(4)
+        b.add_flow(0, 1, CAP)
+        flows = b.build()
+        orig = ActiveSet.allocate
+        ActiveSet.allocate = zero_allocate
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                with pytest.raises(SimulationError, match="non-finite"):
+                    simulate(line, flows)
+        finally:
+            ActiveSet.allocate = orig

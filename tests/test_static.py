@@ -97,3 +97,61 @@ class TestReportHelpers:
         assert pct[50] <= pct[100]
         assert "bottleneck" in report.summary()
         assert report.max_load >= report.mean_load
+
+
+class TestRouteDedupe:
+    """analyze() must route each distinct (src, dst) pair exactly once and
+    share the simulator's route cache."""
+
+    def test_duplicate_pairs_routed_once(self, monkeypatch):
+        topo = TorusTopology((4, 2))
+        calls: list[tuple[int, int]] = []
+        orig = TorusTopology.route
+
+        def counting_route(self, s, d):
+            calls.append((s, d))
+            return orig(self, s, d)
+
+        monkeypatch.setattr(TorusTopology, "route", counting_route)
+        b = FlowBuilder(8)
+        for _ in range(10):
+            b.add_flow(0, 5, 2.0)   # same pair, ten flows
+        b.add_flow(1, 6, 3.0)
+        analyze(topo, b.build())
+        assert sorted(set(calls)) == sorted(calls)  # no pair routed twice
+        assert set(calls) == {(0, 5), (1, 6)}
+
+    def test_dedupe_preserves_loads(self):
+        topo = TorusTopology((4, 2))
+        b = FlowBuilder(8)
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            s, d = int(rng.integers(8)), int(rng.integers(8))
+            b.add_flow(s, d, float(rng.uniform(1, 5)))
+        flows = b.build()
+        merged = analyze(topo, flows)
+        # one flow at a time cannot benefit from deduplication
+        loads = np.zeros_like(merged.loads)
+        for i in range(flows.num_flows):
+            one = FlowBuilder(8)
+            one.add_flow(int(flows.src[i]), int(flows.dst[i]),
+                         float(flows.size[i]))
+            loads += analyze(topo, one.build()).loads
+        np.testing.assert_allclose(merged.loads, loads, rtol=1e-12)
+
+    def test_shares_simulator_route_cache(self, monkeypatch):
+        topo = TorusTopology((4, 2))
+        b = FlowBuilder(8)
+        b.add_flow(0, 5, 2.0)
+        b.add_flow(1, 6, 3.0)
+        flows = b.build()
+        cache: dict = {}
+        simulate(topo, flows, route_cache=cache)
+        assert (0, 5) in cache and (1, 6) in cache
+
+        def exploding_route(self, s, d):  # cache must fully cover analyze
+            raise AssertionError(f"re-routed cached pair ({s}, {d})")
+
+        monkeypatch.setattr(TorusTopology, "route", exploding_route)
+        report = analyze(topo, flows, route_cache=cache)
+        assert report.loads.sum() > 0
