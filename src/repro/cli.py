@@ -31,6 +31,7 @@ from repro.core import (DEFAULT_ENDPOINTS, DesignSpaceExplorer, claims_report,
                         figure, table1, table2)
 from repro.core.config import DEFAULT_QUADRATIC_TASKS
 from repro.core.paperdata import PAPER_ENDPOINTS
+from repro.routing import ROUTING_POLICIES
 
 
 def _add_common(p: argparse.ArgumentParser, *, endpoints: int) -> None:
@@ -71,6 +72,15 @@ def _add_sweep(p: argparse.ArgumentParser) -> None:
                         "schema-versioned metrics record per cell to this "
                         "JSONL file (tier link accounting, allocator stats, "
                         "timers; see docs/observability.md)")
+    _add_routing(p)
+
+
+def _add_routing(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--routing", choices=ROUTING_POLICIES,
+                   default="deterministic",
+                   help="candidate-selection routing policy applied to "
+                        "every simulation (default deterministic; see "
+                        "docs/routing.md)")
 
 
 def _add_cost_model(p: argparse.ArgumentParser) -> None:
@@ -160,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
     pr.add_argument("--tasks", type=int, default=None)
     pr.add_argument("--fidelity", choices=("exact", "approx"),
                     default="exact")
+    _add_routing(pr)
 
     pp = sub.add_parser(
         "profile",
@@ -173,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     pp.add_argument("--tasks", type=int, default=None)
     pp.add_argument("--fidelity", choices=("exact", "approx"),
                     default="exact")
+    _add_routing(pp)
 
     po = sub.add_parser(
         "optimize",
@@ -200,6 +212,11 @@ def main(argv: list[str] | None = None) -> int:
                     metavar="N",
                     help="failed-cable counts as an extra search axis "
                          "(default: 0, healthy designs only)")
+    po.add_argument("--routings", nargs="+", default=["deterministic"],
+                    choices=ROUTING_POLICIES, metavar="POLICY",
+                    help="routing policies as an extra search axis "
+                         f"(choose from: {', '.join(ROUTING_POLICIES)}; "
+                         "default: deterministic only)")
     po.add_argument("--jobs", type=int, default=1,
                     help="worker processes for the simulation rungs")
     po.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -393,7 +410,8 @@ def _run_figure(args: argparse.Namespace, *, heavy: bool) -> None:
                          fail_seed=args.fail_seed,
                          keep_going=args.keep_going,
                          cell_timeout=args.cell_timeout,
-                         metrics=args.metrics)
+                         metrics=args.metrics,
+                         routing=args.routing)
     fig_no = 4 if heavy else 5
     print(figure(table, names,
                  title=f"Figure {fig_no} ({'heavy' if heavy else 'light'} "
@@ -439,7 +457,7 @@ def _run_resilience(args: argparse.Namespace) -> None:
             cells.append(SweepCell(
                 workload=wspec, topology=tspec, placement=policy,
                 fail_links=count, fail_uplinks=uplinks,
-                fail_seed=args.fail_seed))
+                fail_seed=args.fail_seed, routing=args.routing))
     plan = SweepPlan(endpoints=args.endpoints, fidelity=args.fidelity,
                      seed=args.seed, cells=tuple(cells))
     log = None if args.quiet else \
@@ -507,7 +525,8 @@ def _run_optimize(args: argparse.Namespace) -> None:
         space = DesignSpace(endpoints=args.endpoints,
                             pilot_endpoints=ladder.pilot_endpoints,
                             fault_levels=tuple(dict.fromkeys(
-                                args.fault_levels)))
+                                args.fault_levels)),
+                            routings=tuple(dict.fromkeys(args.routings)))
         strategy = make_strategy(args.strategy, space, seed=args.seed)
     except ConfigError as exc:
         print(f"repro optimize: error: {exc}", file=sys.stderr)
@@ -561,7 +580,7 @@ def _run_single(args: argparse.Namespace) -> None:
     placement = None if tasks == args.endpoints \
         else spread_placement(tasks, args.endpoints)
     result = simulate(topo, wl.build(), placement=placement,
-                      fidelity=args.fidelity)
+                      fidelity=args.fidelity, routing=args.routing)
     print(topo.describe())
     print(wl.describe())
     print(result.summary())
@@ -587,7 +606,8 @@ def _run_profile(args: argparse.Namespace) -> None:
         else spread_placement(tasks, args.endpoints)
     collector = MetricsCollector(topo.links.num_links)
     result = simulate(topo, wl.build(), placement=placement,
-                      fidelity=args.fidelity, metrics=collector)
+                      fidelity=args.fidelity, metrics=collector,
+                      routing=args.routing)
     print(topo.describe())
     print(wl.describe())
     print(result.summary())

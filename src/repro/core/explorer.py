@@ -65,6 +65,8 @@ class RunRecord:
     #: Fault fingerprint ({"cables": ..., "uplinks": ..., "seed": ...})
     #: when the cell ran on a degraded network; None for a healthy run.
     faults: dict | None = None
+    #: Routing policy the cell simulated under (see repro.routing.policy).
+    routing: str = "deterministic"
 
 
 @dataclass
@@ -106,7 +108,7 @@ class ResultTable:
 
     def to_csv(self) -> str:
         lines = ["workload,topology,family,t,u,makespan_s,num_flows,"
-                 "events,reallocations,wall_s,faults"]
+                 "events,reallocations,wall_s,faults,routing"]
         for r in self.records:
             if r.faults:
                 faults = (f"{r.faults['cables']}c+{r.faults['uplinks']}u"
@@ -117,7 +119,8 @@ class ResultTable:
                 f"{r.workload},{r.topology},{r.family},"
                 f"{'' if r.t is None else r.t},{'' if r.u is None else r.u},"
                 f"{r.makespan!r},{r.num_flows},{r.events},"
-                f"{r.reallocations},{r.wall_seconds:.3f},{faults}")
+                f"{r.reallocations},{r.wall_seconds:.3f},{faults},"
+                f"{r.routing}")
         return "\n".join(lines) + "\n"
 
 
@@ -175,17 +178,21 @@ class DesignSpaceExplorer:
     def plan(self, workload_names: Iterable[str], *,
              workload_params: dict[str, dict] | None = None,
              fail_links: int = 0, fail_uplinks: int = 0,
-             fail_seed: int = 0):
+             fail_seed: int = 0,
+             routing: str = "deterministic"):
         """The sweep plan for these workloads (workload-major cell order).
 
         ``fail_links``/``fail_uplinks``/``fail_seed`` inject reproducible
         faults into every cell; uplink-port faults only apply to the hybrid
         families (the baselines have no uplink ports, so their cells run
-        with cable faults only).
+        with cable faults only).  ``routing`` selects the candidate-set
+        policy every cell simulates under (see :mod:`repro.routing.policy`).
         """
         from repro.core.config import HYBRID_FAMILIES
+        from repro.routing import validate_policy
         from repro.sweep import SweepCell, SweepPlan
 
+        routing = validate_policy(routing)
         params = workload_params or {}
         cells = []
         for wname in workload_names:
@@ -200,7 +207,8 @@ class DesignSpaceExplorer:
                                        placement=policy,
                                        fail_links=fail_links,
                                        fail_uplinks=uplinks,
-                                       fail_seed=fail_seed))
+                                       fail_seed=fail_seed,
+                                       routing=routing))
         return SweepPlan(endpoints=self.endpoints, fidelity=self.fidelity,
                          seed=self.seed, cells=tuple(cells))
 
@@ -213,7 +221,8 @@ class DesignSpaceExplorer:
             fail_links: int = 0, fail_uplinks: int = 0, fail_seed: int = 0,
             keep_going: bool = False,
             cell_timeout: float | None = None,
-            metrics: str | None = None) -> ResultTable:
+            metrics: str | None = None,
+            routing: str = "deterministic") -> ResultTable:
         """Simulate every workload on every topology of the design space.
 
         ``jobs`` > 1 fans the sweep out over a process pool (one topology
@@ -234,7 +243,7 @@ class DesignSpaceExplorer:
                       f"{self.endpoints} endpoints: {self.skipped_configs}")
         plan = self.plan(workload_names, workload_params=workload_params,
                          fail_links=fail_links, fail_uplinks=fail_uplinks,
-                         fail_seed=fail_seed)
+                         fail_seed=fail_seed, routing=routing)
         records = run_sweep(
             plan, jobs=jobs, checkpoint=checkpoint, resume=resume,
             log=self._log if self.progress else None,

@@ -75,10 +75,17 @@ class ActiveSet:
     """
 
     def __init__(self, capacities: np.ndarray, *,
-                 weighted: bool = False) -> None:
+                 weighted: bool = False,
+                 track_occupancy: bool = False) -> None:
         self.capacities = np.asarray(capacities, dtype=np.float64)
         num_links = self.capacities.shape[0]
         self._weighted = bool(weighted)
+        #: Per-link live-flow counts, maintained across add/remove when
+        #: ``track_occupancy`` is set (the adaptive routing policy reads
+        #: this to score candidate routes); ``None`` otherwise, so the
+        #: default engine pays nothing for it.
+        self.occupancy: np.ndarray | None = (
+            np.zeros(num_links, dtype=np.int64) if track_occupancy else None)
         self._caps_all_positive = bool((self.capacities > 0).all()) \
             if num_links else True
 
@@ -210,6 +217,8 @@ class ActiveSet:
         self._slot_arr[fid] = slot
         self._m = slot + 1
         self._churn_units += 1
+        if self.occupancy is not None:
+            self.occupancy[route] += 1  # routes are simple paths
         if self._csr_ok:
             self._csr_patch_add(fid, route, start, length)
         self._added_keys.append(id(route))
@@ -267,6 +276,9 @@ class ActiveSet:
         self._slot_arr[fids] = np.arange(m, m + k, dtype=np.int64)
         self._m = m + k
         self._churn_units += k
+        if self.occupancy is not None:
+            # links can repeat across the batch's routes, so accumulate
+            np.add.at(self.occupancy, block, 1)
         if self._csr_ok:
             if k > max(_PATCH_MAX, m >> 3):
                 self._csr_ok = False
@@ -293,6 +305,8 @@ class ActiveSet:
         self._removed_keys.append(id(route))
         self._removed_pins.append(route)
         self._churn_units += 1
+        if self.occupancy is not None:
+            self.occupancy[route] -= 1
         if self._csr_ok:
             s = int(self._starts[slot])
             e = s + int(self._lens[slot])
@@ -342,6 +356,10 @@ class ActiveSet:
         self._removed_pins.append(routes[:self._m])
 
         self._churn_units += k
+        if self.occupancy is not None:
+            gone = self._entries[_slices_concat(
+                self._starts[slots], self._starts[slots] + self._lens[slots])]
+            np.subtract.at(self.occupancy, gone, 1)
         if self._csr_ok:
             if k > max(_PATCH_MAX, self._m >> 3):
                 self._csr_ok = False

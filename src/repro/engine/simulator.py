@@ -42,7 +42,10 @@ from repro.engine.flows import FlowSet
 from repro.engine.maxmin import _slices_concat, allocate
 from repro.engine.results import SimulationResult
 from repro.errors import SimulationError
+from repro.routing import policy as routing_policy
+from repro.routing.policy import validate_policy
 from repro.topology.base import Topology
+from repro.topology.degraded import FaultSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsCollector
@@ -61,13 +64,92 @@ _ALLOCATORS = ("incremental", "rebuild")
 _EMPTY_ROUTE = np.empty(0, dtype=np.int64)
 
 
+def _make_route_fn(topology: Topology, src_ep: np.ndarray, dst_ep: np.ndarray,
+                   route_cache: dict, collector, routing: str,
+                   occupancy=None):
+    """Build the per-flow ``route_of(fid)`` closure both engines share.
+
+    Historically each engine carried its own copy of the cache-fill logic
+    with bare ``(src, dst)`` keys, which silently poisoned caches shared
+    across :class:`~repro.topology.degraded.DegradedTopology` wrappers (two
+    different fault sets hash to the same key) and across routing policies.
+    The single helper keys the cache by route identity instead:
+
+    * deterministic routes on a *healthy* topology keep the bare
+      ``(src, dst)`` key — bitwise-compatible with caches shared with the
+      static analyzer and pre-existing checkpoints;
+    * a degraded wrapper appends its fault set's
+      :meth:`~repro.topology.degraded.FaultSet.cache_token`;
+    * the multi-path policies cache the whole interned candidate list
+      under ``("cands", src, dst, token)`` and select per flow.
+
+    ``occupancy`` (adaptive only) is a zero-argument callable returning
+    the current per-link live-flow-count vector.
+    """
+    faults = getattr(topology, "faults", None)
+    token = faults.cache_token() if isinstance(faults, FaultSet) else None
+
+    def _timed(fn, s: int, d: int):
+        if collector is None:
+            return fn(s, d)
+        t0 = time.perf_counter()
+        out = fn(s, d)
+        collector.add_time("route_construction", time.perf_counter() - t0)
+        return out
+
+    if routing == "deterministic":
+        def route_of(fid: int) -> np.ndarray:
+            s, d = int(src_ep[fid]), int(dst_ep[fid])
+            if s == d:
+                return _EMPTY_ROUTE  # co-located tasks: intra-endpoint
+            key = (s, d) if token is None else (s, d, token)
+            cached = route_cache.get(key)
+            if cached is None:
+                cached = np.asarray(_timed(topology.route, s, d),
+                                    dtype=np.int64)
+                route_cache[key] = cached
+            return cached
+        return route_of
+
+    def candidates_of(s: int, d: int) -> list[np.ndarray]:
+        key = ("cands", s, d, token)
+        cands = route_cache.get(key)
+        if cands is None:
+            cands = [np.asarray(r, dtype=np.int64)
+                     for r in _timed(topology.route_candidates, s, d)]
+            route_cache[key] = cands
+        return cands
+
+    if routing == "ecmp":
+        def route_of(fid: int) -> np.ndarray:
+            s, d = int(src_ep[fid]), int(dst_ep[fid])
+            if s == d:
+                return _EMPTY_ROUTE
+            cands = candidates_of(s, d)
+            return cands[routing_policy.ecmp_index(fid, s, d, len(cands))]
+        return route_of
+
+    assert routing == "adaptive" and occupancy is not None
+
+    def route_of(fid: int) -> np.ndarray:
+        s, d = int(src_ep[fid]), int(dst_ep[fid])
+        if s == d:
+            return _EMPTY_ROUTE
+        cands = candidates_of(s, d)
+        if len(cands) == 1:
+            return cands[0]
+        return cands[routing_policy.adaptive_index(cands, occupancy())]
+    return route_of
+
+
 def simulate(topology: Topology, flows: FlowSet, *,
              placement: np.ndarray | None = None,
              fidelity: str = "exact",
              max_events: int = 50_000_000,
-             route_cache: dict[tuple[int, int], np.ndarray] | None = None,
+             route_cache: dict | None = None,
              metrics: MetricsCollector | None = None,
-             allocator: str = "incremental"
+             allocator: str = "incremental",
+             routing: str = "deterministic"
              ) -> SimulationResult:
     """Run a workload on a topology and return completion statistics.
 
@@ -88,10 +170,11 @@ def simulate(topology: Topology, flows: FlowSet, *,
     max_events:
         Safety valve against runaway event loops.
     route_cache:
-        Optional ``(src endpoint, dst endpoint) -> link-id array`` dict
-        shared between calls.  Routes only depend on the topology, so one
-        cache per topology amortises route computation when many workloads
-        replay on the same machine (the sweep runner does this).
+        Optional route dict shared between calls; one cache per topology
+        amortises route computation when many workloads replay on the
+        same machine (the sweep runner does this).  Keys are policy- and
+        fault-aware (see :func:`_make_route_fn`), so a single cache can
+        safely serve several policies and degraded views of one machine.
     metrics:
         Optional :class:`repro.obs.MetricsCollector` (sized to this
         topology's link table).  When supplied, the engine feeds it
@@ -105,13 +188,23 @@ def simulate(topology: Topology, flows: FlowSet, *,
         reconstruction and a from-scratch reference allocation — kept
         verbatim for verification and as the engine benchmark's baseline.
         Both are exact — rates and makespans agree.
+    routing:
+        Candidate-selection policy: ``"deterministic"`` (default; routes
+        and results bitwise-identical to the single-path engine),
+        ``"ecmp"`` (per-flow deterministic hash over the minimal
+        candidates) or ``"adaptive"`` (per-flow least-congested candidate
+        by live link occupancy, deterministic route as escape).  See
+        :mod:`repro.routing.policy` and ``docs/routing.md``.
     """
     if fidelity not in _FIDELITIES:
         raise SimulationError(f"fidelity must be one of {_FIDELITIES}")
     if allocator not in _ALLOCATORS:
         raise SimulationError(f"allocator must be one of {_ALLOCATORS}")
+    routing = validate_policy(routing)
     placement = _check_placement(topology, flows, placement)
     collector = metrics
+    if collector is not None:
+        collector.set_routing(routing)
 
     n = flows.num_flows
     if n == 0:
@@ -125,7 +218,7 @@ def simulate(topology: Topology, flows: FlowSet, *,
 
     if allocator == "rebuild":
         return _simulate_rebuild(topology, flows, placement, fidelity,
-                                 max_events, route_cache, collector)
+                                 max_events, route_cache, collector, routing)
 
     capacities = topology.links.capacities
     remaining = flows.size.copy()
@@ -135,28 +228,17 @@ def simulate(topology: Topology, flows: FlowSet, *,
     weighted = flows.is_weighted
     weight_arr = flows.weight
 
-    active = ActiveSet(capacities, weighted=weighted)
+    adaptive = routing == "adaptive"
+    active = ActiveSet(capacities, weighted=weighted,
+                       track_occupancy=adaptive)
 
     if route_cache is None:
         route_cache = {}
     src_ep = placement[flows.src]
     dst_ep = placement[flows.dst]
-
-    def route_of(fid: int) -> np.ndarray:
-        key = (int(src_ep[fid]), int(dst_ep[fid]))
-        if key[0] == key[1]:
-            return _EMPTY_ROUTE  # co-located tasks: intra-endpoint transfer
-        cached = route_cache.get(key)
-        if cached is None:
-            if collector is None:
-                cached = np.asarray(topology.route(*key), dtype=np.int64)
-            else:
-                t0 = time.perf_counter()
-                cached = np.asarray(topology.route(*key), dtype=np.int64)
-                collector.add_time("route_construction",
-                                   time.perf_counter() - t0)
-            route_cache[key] = cached
-        return cached
+    route_of = _make_route_fn(
+        topology, src_ep, dst_ep, route_cache, collector, routing,
+        (lambda: active.occupancy) if adaptive else None)
 
     completed_count = 0
 
@@ -205,6 +287,14 @@ def simulate(topology: Topology, flows: FlowSet, *,
         entered the network.
         """
         admitted = 0
+        if adaptive:
+            # per-flow admission: each selection must see the occupancy
+            # left by the flows admitted just before it, which the
+            # vectorised path below (route everything, then add_many)
+            # would hide — an entire batch would pile onto one candidate
+            for f in ready.tolist():
+                admitted += inject(f, t, 0.0)
+            return admitted
         zero_hop = src_ep[ready] == dst_ep[ready]
         routed = ready[~zero_hop]
         if routed.shape[0]:
@@ -348,8 +438,9 @@ def simulate(topology: Topology, flows: FlowSet, *,
 def _simulate_rebuild(topology: Topology, flows: FlowSet,
                       placement: np.ndarray, fidelity: str,
                       max_events: int,
-                      route_cache: dict[tuple[int, int], np.ndarray] | None,
-                      collector: MetricsCollector | None
+                      route_cache: dict | None,
+                      collector: MetricsCollector | None,
+                      routing: str = "deterministic"
                       ) -> SimulationResult:
     """The historical rebuild-per-event engine, kept verbatim.
 
@@ -373,22 +464,13 @@ def _simulate_rebuild(topology: Topology, flows: FlowSet,
         route_cache = {}
     src_ep = placement[flows.src]
     dst_ep = placement[flows.dst]
-
-    def route_of(fid: int) -> np.ndarray:
-        key = (int(src_ep[fid]), int(dst_ep[fid]))
-        if key[0] == key[1]:
-            return _EMPTY_ROUTE
-        cached = route_cache.get(key)
-        if cached is None:
-            if collector is None:
-                cached = np.asarray(topology.route(*key), dtype=np.int64)
-            else:
-                t0 = time.perf_counter()
-                cached = np.asarray(topology.route(*key), dtype=np.int64)
-                collector.add_time("route_construction",
-                                   time.perf_counter() - t0)
-            route_cache[key] = cached
-        return cached
+    # local occupancy mirror for adaptive selection (this engine has no
+    # persistent ActiveSet to maintain one)
+    occ = np.zeros(capacities.shape[0], dtype=np.int64) \
+        if routing == "adaptive" else None
+    route_of = _make_route_fn(
+        topology, src_ep, dst_ep, route_cache, collector, routing,
+        (lambda: occ) if occ is not None else None)
 
     completed_count = 0
 
@@ -404,6 +486,8 @@ def _simulate_rebuild(topology: Topology, flows: FlowSet,
                 collector.flow_injected(float(flows.size[f]), route.shape[0])
             if route.shape[0]:
                 routes[f] = route
+                if occ is not None:
+                    occ[route] += 1
                 out_ids.append(f)
                 out_rates.append(r)
                 continue
@@ -482,6 +566,8 @@ def _simulate_rebuild(topology: Topology, flows: FlowSet,
         released_rates: list[float] = []
         for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
             completion[fid] = now
+            if occ is not None:
+                occ[routes[fid]] -= 1
             routes[fid] = None  # release the route reference
             for succ in flows.successors(fid).tolist():
                 indegree[succ] -= 1

@@ -82,6 +82,11 @@ class MetricsCollector:
         self.alloc_reasons = {"forced": 0, "churn": 0, "initial": 0,
                               "warm": 0}
         self.timers_s: dict[str, float] = {}
+        self.routing = "deterministic"
+
+    def set_routing(self, policy: str) -> None:
+        """Record which routing policy the engine ran under (snapshotted)."""
+        self.routing = policy
 
     # ------------------------------------------------------------- feed sites
     def flow_injected(self, size_bits: float, route_len: int) -> None:
@@ -163,6 +168,9 @@ class MetricsCollector:
             }
         return {
             "schema": SCHEMA_VERSION,
+            # extra key relative to _SNAPSHOT_FIELDS: validation checks
+            # missing fields only, so older snapshots keep validating
+            "routing": self.routing,
             "makespan_s": float(makespan),
             "events": self.events,
             "network_flows": self.network_flows,

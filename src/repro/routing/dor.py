@@ -12,6 +12,7 @@ the topology's job.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 
 from repro.errors import RoutingError
@@ -36,6 +37,27 @@ def wrap_delta(src: int, dst: int, radix: int, *, torus: bool = True) -> int:
     if forward <= -backward:  # ties -> positive direction
         return forward
     return backward
+
+
+def wrap_deltas(src: int, dst: int, radix: int, *, torus: bool = True) -> tuple[int, ...]:
+    """All minimal signed deltas from ``src`` to ``dst`` along one dimension.
+
+    Usually a single delta — the one :func:`wrap_delta` returns.  On a
+    torus of even radix an exact tie (``|dst - src| == radix / 2``) has two
+    minimal directions; both are returned, the positive one first so index 0
+    always matches the deterministic tie-break.
+    """
+    if not 0 <= src < radix or not 0 <= dst < radix:
+        raise RoutingError(f"coordinate out of range: {src}, {dst} for radix {radix}")
+    if not torus:
+        return (dst - src,)
+    forward = (dst - src) % radix
+    backward = forward - radix  # negative
+    if forward < -backward:
+        return (forward,)
+    if forward > -backward:
+        return (backward,)
+    return (forward, backward)  # exact tie: both directions are minimal
 
 
 def distance(src: Coord, dst: Coord, radices: Sequence[int], *, torus: bool = True) -> int:
@@ -65,6 +87,46 @@ def path(src: Coord, dst: Coord, radices: Sequence[int], *, torus: bool = True) 
         for _ in range(abs(delta)):
             cur[dim] = (cur[dim] + step) % radix
             out.append(tuple(cur))
+    return out
+
+
+def _walk(src: Coord, dst: Coord, radices: Sequence[int],
+          deltas: Sequence[int]) -> list[Coord]:
+    """The DOR coordinate walk applying one signed delta per dimension."""
+    cur = list(src)
+    out: list[Coord] = [tuple(cur)]
+    for dim, (radix, delta) in enumerate(zip(radices, deltas)):
+        step = 1 if delta > 0 else -1
+        for _ in range(abs(delta)):
+            cur[dim] = (cur[dim] + step) % radix
+            out.append(tuple(cur))
+    if cur != list(dst):  # pragma: no cover - delta construction guarantees
+        raise RoutingError(f"deltas {deltas} do not reach {dst} from {src}")
+    return out
+
+
+def paths(src: Coord, dst: Coord, radices: Sequence[int], *, torus: bool = True) -> list[list[Coord]]:
+    """Every minimal DOR coordinate walk ``src -> dst``.
+
+    The cross product of each dimension's minimal wrap directions
+    (:func:`wrap_deltas`); dimensions without an exact wrap tie contribute a
+    single choice, so the common case is one path.  The first entry is
+    always the deterministic :func:`path` (positive tie-break everywhere).
+    Radix-2 ties wrap to the same neighbour in either direction, so their
+    duplicate walks are removed.
+    """
+    if len(src) != len(dst) or len(src) != len(radices):
+        raise RoutingError("coordinate arity does not match radices")
+    per_dim = [wrap_deltas(s, d, k, torus=torus)
+               for s, d, k in zip(src, dst, radices)]
+    out: list[list[Coord]] = []
+    seen: set[tuple[Coord, ...]] = set()
+    for combo in itertools.product(*per_dim):
+        walk = _walk(src, dst, radices, combo)
+        key = tuple(walk)
+        if key not in seen:
+            seen.add(key)
+            out.append(walk)
     return out
 
 

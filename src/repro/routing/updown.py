@@ -31,6 +31,7 @@ path length is ``2m - 1`` switches, i.e. ``2m`` link hops leaf-to-leaf.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -123,6 +124,45 @@ def switch_path(src: int, dst: int, arities: Sequence[int]) -> list[Switch]:
             group *= k
         down.append(Switch(level, dst // group, digits[: level - 1]))
     return up + down
+
+
+def _assemble(src: int, dst: int, arities: Sequence[int], m: int,
+              digits_choice: tuple[int, ...]) -> list[Switch]:
+    """The UP*/DOWN* switch walk climbing through the given up-digits."""
+    up: list[Switch] = []
+    subtree = src // arities[0]
+    digits: tuple[int, ...] = ()
+    up.append(Switch(1, subtree, digits))
+    for level in range(1, m):
+        digits = digits + (digits_choice[level - 1],)
+        subtree //= arities[level]
+        up.append(Switch(level + 1, subtree, digits))
+    down: list[Switch] = []
+    for level in range(m - 1, 0, -1):
+        group = 1
+        for k in arities[:level]:
+            group *= k
+        down.append(Switch(level, dst // group, digits[: level - 1]))
+    return up + down
+
+
+def switch_paths(src: int, dst: int, arities: Sequence[int]) -> list[list[Switch]]:
+    """Every minimal UP*/DOWN* switch walk between two distinct leaves.
+
+    The climb to the NCA may take any up-port at each level (all ``2m - 1``
+    switch walks are minimal); the descent is then uniquely determined.
+    The first entry is the deterministic d-mod-k :func:`switch_path`: each
+    level's choice tuple leads with the destination digit.
+    """
+    m = nca_level(src, dst, arities)
+    dst_digits = leaf_digits(dst, arities)
+    choices = []
+    for level in range(1, m):
+        det = dst_digits[level - 1]
+        choices.append((det, *(x for x in range(arities[level - 1])
+                               if x != det)))
+    return [_assemble(src, dst, arities, m, combo)
+            for combo in itertools.product(*choices)]
 
 
 def path_lengths(src: int, dst: int, arities: Sequence[int]) -> int:

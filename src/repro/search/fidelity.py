@@ -262,12 +262,13 @@ class LadderEvaluator:
                 wname, scale, quadratic_tasks=self.ladder.quadratic_tasks)
             for wname in self.ladder.workloads}
         cells = []
-        for spec, fail_links in self._cell_targets(candidates):
+        for spec, fail_links, routing in self._cell_targets(candidates):
             for wname, wspec in wspecs.items():
                 cells.append(SweepCell(
                     workload=wspec, topology=spec,
                     placement=PLACEMENT_POLICY.get(wname, "spread"),
-                    fail_links=fail_links, fail_seed=self.ladder.seed))
+                    fail_links=fail_links, fail_seed=self.ladder.seed,
+                    routing=routing))
         plan = SweepPlan(endpoints=scale, fidelity=self.ladder.fidelity,
                          seed=self.ladder.seed, cells=tuple(cells))
         failures: dict[str, dict] = {}
@@ -279,20 +280,21 @@ class LadderEvaluator:
         self.sim_candidates[rank] += len(candidates)
         self.sim_cells[rank] += len(cells)
 
-        # makespans by (healthy topology label, failed cables, workload)
-        makespans: dict[tuple[str, int], dict[str, float]] = {}
+        # makespans by (healthy topology label, failed cables, routing)
+        makespans: dict[tuple[str, int, str], dict[str, float]] = {}
         for record in records:
             fail = record.faults["cables"] if record.faults else 0
-            makespans.setdefault((record.topology, fail), {})[
-                record.workload] = record.makespan
-        reference = makespans.get(("fattree", 0), {})
+            makespans.setdefault((record.topology, fail, record.routing),
+                                 {})[record.workload] = record.makespan
+        reference = makespans.get(("fattree", 0, "deterministic"), {})
         self.reference_makespans[rank] = {
-            label: makespans.get((label, 0), {})
+            label: makespans.get((label, 0, "deterministic"), {})
             for label in ("fattree", "torus")}
 
         out: dict[str, Objectives | None] = {}
         for cand in candidates:
-            mine = makespans.get((cand.topology_label(), cand.fail_links), {})
+            mine = makespans.get(
+                (cand.topology_label(), cand.fail_links, cand.routing), {})
             if any(w not in mine or w not in reference
                    for w in self.ladder.workloads):
                 out[cand.label()] = None  # at least one cell failed
@@ -306,14 +308,18 @@ class LadderEvaluator:
         return out
 
     def _cell_targets(self, candidates: list[Candidate]
-                      ) -> list[tuple[TopologySpec, int]]:
-        """Unique (spec, fail_links) pairs: candidates + both references."""
-        targets: dict[tuple[str, int], tuple[TopologySpec, int]] = {}
+                      ) -> list[tuple[TopologySpec, int, str]]:
+        """Unique (spec, fail_links, routing) triples: candidates + both
+        references (references always run the deterministic policy)."""
+        targets: dict[tuple[str, int, str],
+                      tuple[TopologySpec, int, str]] = {}
         for spec in baseline_specs():  # fattree reference + torus baseline
-            targets[(spec.label(), 0)] = (spec, 0)
+            targets[(spec.label(), 0, "deterministic")] = (
+                spec, 0, "deterministic")
         for cand in candidates:
-            key = (cand.topology_label(), cand.fail_links)
-            targets.setdefault(key, (cand.spec(), cand.fail_links))
+            key = (cand.topology_label(), cand.fail_links, cand.routing)
+            targets.setdefault(
+                key, (cand.spec(), cand.fail_links, cand.routing))
         return list(targets.values())
 
     def _rank_checkpoint(self, rank: int) -> str | None:

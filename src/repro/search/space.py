@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.config import (HYBRID_FAMILIES, VALID_UPLINK_DENSITIES,
                                TopologySpec, validate_hybrid_params)
 from repro.errors import ConfigError
+from repro.routing import validate_policy
 
 #: Subtorus sides the search considers (t=1 collapses to a pure fabric and
 #: odd sides only admit u=1; the paper explores powers of two).
@@ -33,17 +34,25 @@ class Candidate:
     ``fail_links`` > 0 evaluates the design *degraded*: every simulation
     cell runs with that many failed duplex cables (seeded by the search),
     so the front can trade peak performance against fault tolerance.
+
+    ``routing`` evaluates the design under a candidate-selection policy
+    (see :mod:`repro.routing.policy`) — multi-path spreading is a design
+    knob just like the uplink density, and the search can trade it against
+    the hardware axes.
     """
 
     family: str
     t: int
     u: int
     fail_links: int = 0
+    routing: str = "deterministic"
 
     def label(self) -> str:
         base = f"{self.family}({self.t},{self.u})"
         if self.fail_links:
             base += f"+{self.fail_links}c"
+        if self.routing != "deterministic":
+            base += f"~{self.routing}"
         return base
 
     def topology_label(self) -> str:
@@ -70,6 +79,7 @@ class DesignSpace:
     sides: tuple[int, ...] = SEARCH_SIDES
     densities: tuple[int, ...] = VALID_UPLINK_DENSITIES
     fault_levels: tuple[int, ...] = (0,)
+    routings: tuple[str, ...] = ("deterministic",)
     _valid_sides: tuple[int, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -83,6 +93,10 @@ class DesignSpace:
                 raise ConfigError(
                     f"fault levels must be non-negative cable counts, "
                     f"got {self.fault_levels}")
+        if not self.routings:
+            raise ConfigError("routings axis must not be empty")
+        for policy in self.routings:
+            validate_policy(policy)
         scales = [self.endpoints]
         if self.pilot_endpoints is not None:
             scales.append(self.pilot_endpoints)
@@ -104,22 +118,26 @@ class DesignSpace:
 
     # ---------------------------------------------------------- enumeration
     def enumerate(self) -> list[Candidate]:
-        """Every candidate, in deterministic (family, t, u, faults) order."""
-        return [Candidate(f, t, u, fl)
+        """Every candidate, in deterministic (family, t, u, faults,
+        routing) order."""
+        return [Candidate(f, t, u, fl, rp)
                 for f in self.families
                 for t in self._valid_sides
                 for u in self.densities
-                for fl in self.fault_levels]
+                for fl in self.fault_levels
+                for rp in self.routings]
 
     def size(self) -> int:
         return (len(self.families) * len(self._valid_sides)
-                * len(self.densities) * len(self.fault_levels))
+                * len(self.densities) * len(self.fault_levels)
+                * len(self.routings))
 
     def __contains__(self, cand: Candidate) -> bool:
         return (cand.family in self.families
                 and cand.t in self._valid_sides
                 and cand.u in self.densities
-                and cand.fail_links in self.fault_levels)
+                and cand.fail_links in self.fault_levels
+                and cand.routing in self.routings)
 
     # ------------------------------------------------------------- sampling
     def sample(self, rng: np.random.Generator) -> Candidate:
@@ -129,7 +147,8 @@ class DesignSpace:
             t=self._valid_sides[int(rng.integers(len(self._valid_sides)))],
             u=self.densities[int(rng.integers(len(self.densities)))],
             fail_links=self.fault_levels[
-                int(rng.integers(len(self.fault_levels)))])
+                int(rng.integers(len(self.fault_levels)))],
+            routing=self.routings[int(rng.integers(len(self.routings)))])
 
     def mutate(self, cand: Candidate, rng: np.random.Generator) -> Candidate:
         """One axis-step away from ``cand`` (the evolutionary move).
@@ -141,7 +160,8 @@ class DesignSpace:
         so a buggy mutation fails typed instead of deep in a build.
         """
         axes = [("family", self.families), ("t", self._valid_sides),
-                ("u", self.densities), ("fail_links", self.fault_levels)]
+                ("u", self.densities), ("fail_links", self.fault_levels),
+                ("routing", self.routings)]
         axes = [(name, vals) for name, vals in axes if len(vals) > 1]
         if not axes:
             return cand

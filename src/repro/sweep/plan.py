@@ -27,6 +27,10 @@ class SweepCell:
     the built topology with ``FaultSet.sample(cables=fail_links,
     uplinks=fail_uplinks, seed=fail_seed)``.  All three default to the
     healthy machine.
+
+    ``routing`` selects the candidate-selection policy
+    (:data:`repro.routing.ROUTING_POLICIES`); the default keeps the
+    engine's single-path behaviour and pre-existing checkpoint keys.
     """
 
     workload: WorkloadSpec
@@ -35,6 +39,7 @@ class SweepCell:
     fail_links: int = 0
     fail_uplinks: int = 0
     fail_seed: int = 0
+    routing: str = "deterministic"
 
     def has_faults(self) -> bool:
         return bool(self.fail_links or self.fail_uplinks)
@@ -56,6 +61,11 @@ class SweepCell:
         return (f"|faults({self.fail_links},{self.fail_uplinks},"
                 f"s{self.fail_seed})")
 
+    def _routing_suffix(self) -> str:
+        if self.routing == "deterministic":
+            return ""  # default-policy cells keep their pre-routing keys
+        return f"|routing({self.routing})"
+
     def key(self) -> str:
         """Stable checkpoint key.
 
@@ -63,12 +73,13 @@ class SweepCell:
         different caps (``--quadratic-tasks``); a checkpoint written at one
         cap must not satisfy a sweep at another.  Includes the fault
         fingerprint for degraded cells so resume never mixes healthy and
-        degraded runs.  Extra workload params are not fingerprinted — use a
-        fresh checkpoint when overriding them.
+        degraded runs, and the routing policy for non-default policies so
+        resume never mixes policies.  Extra workload params are not
+        fingerprinted — use a fresh checkpoint when overriding them.
         """
         tasks = "all" if self.workload.tasks is None else self.workload.tasks
         return (f"{self.workload.name}@{tasks}|{self.topology.label()}"
-                f"{self._fault_suffix()}")
+                f"{self._fault_suffix()}{self._routing_suffix()}")
 
 
 @dataclass(frozen=True)

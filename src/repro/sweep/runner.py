@@ -266,7 +266,7 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
     t0 = time.perf_counter()
     result = simulate(topology, flows, placement=placement,
                       fidelity=plan.fidelity, route_cache=route_cache,
-                      metrics=collector)
+                      metrics=collector, routing=cell.routing)
     wall = time.perf_counter() - t0
     doc = {
         "key": cell.key(),
@@ -276,6 +276,7 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
         "t": cell.topology.params.get("t"),
         "u": cell.topology.params.get("u"),
         "faults": cell.fault_fingerprint(),
+        "routing": cell.routing,
         "makespan": result.makespan,
         "num_flows": result.num_flows,
         "events": result.events,
@@ -304,7 +305,8 @@ def _to_record(doc: dict) -> RunRecord:
         family=doc["family"], t=doc["t"], u=doc["u"],
         makespan=doc["makespan"], num_flows=doc["num_flows"],
         events=doc["events"], reallocations=doc["reallocations"],
-        wall_seconds=doc["wall_seconds"], faults=doc.get("faults"))
+        wall_seconds=doc["wall_seconds"], faults=doc.get("faults"),
+        routing=doc.get("routing", "deterministic"))
 
 
 def _cell_log_line(doc: dict) -> str:
@@ -312,6 +314,8 @@ def _cell_log_line(doc: dict) -> str:
     if doc.get("faults"):
         f = doc["faults"]
         label += f"+{f['cables']}c/{f['uplinks']}u"
+    if doc.get("routing", "deterministic") != "deterministic":
+        label += f"~{doc['routing']}"
     return (f"  {label:>16}: {doc['makespan'] * 1e3:9.3f} ms "
             f"({doc['wall_seconds']:5.1f}s wall)")
 

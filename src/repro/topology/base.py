@@ -25,6 +25,13 @@ from repro.errors import RoutingError
 from repro.topology.linktable import LinkTable
 from repro.units import DEFAULT_LINK_CAPACITY
 
+#: Cap on the candidate routes a single pair may expose.  Candidate sets
+#: are enumerated deterministic-first, so truncation keeps the
+#: deterministic route and an unbiased prefix of the alternatives; without
+#: a cap the hybrid cross products (tied uplinks x upper-fabric walks) can
+#: explode combinatorially at large arities.
+MAX_ROUTE_CANDIDATES = 64
+
 
 class Topology(ABC):
     """A network topology with a deterministic routing function.
@@ -87,6 +94,44 @@ class Topology(ABC):
         self._check_endpoint(dst)
         body = self.links.path_to_links(self.vertex_path(src, dst))
         return [int(self._inj[src]), *body, int(self._cons[dst])]
+
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """Every minimal vertex walk ``src -> dst``, deterministic first.
+
+        Index 0 is always :meth:`vertex_path` — the deterministic route —
+        and every other entry has the same hop count (all candidates are
+        minimal under the family's routing rule).  The default is the
+        single deterministic walk; families with routing freedom (wrap-tie
+        tori, redundant tree ancestors, e-cube dimension orders, hybrid
+        uplink/fabric combinations) override this.
+        """
+        return [self.vertex_path(src, dst)]
+
+    def route_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal link-id routes ``src -> dst``, NIC links included.
+
+        ``route(src, dst) == route_candidates(src, dst)[0]`` always holds:
+        candidate 0 is the deterministic route, and the
+        :mod:`~repro.routing.policy` layer relies on that as the escape
+        path.  Candidates are deduplicated and capped at
+        :data:`MAX_ROUTE_CANDIDATES`.
+        """
+        if self._inj is None or self._cons is None:
+            raise RoutingError("topology not finalised; call _finalize()")
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        inj, cons = int(self._inj[src]), int(self._cons[dst])
+        out: list[list[int]] = []
+        seen: set[tuple[int, ...]] = set()
+        for walk in self.vertex_path_candidates(src, dst):
+            key = tuple(walk)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append([inj, *self.links.path_to_links(walk), cons])
+            if len(out) >= MAX_ROUTE_CANDIDATES:
+                break
+        return out
 
     def hops(self, src: int, dst: int) -> int:
         """Network hop count of the routed path (NIC links excluded)."""

@@ -105,6 +105,18 @@ class FaultSet:
         return {"links": sorted(self.failed_links),
                 "uplink_ports": sorted(self.failed_uplinks)}
 
+    def cache_token(self) -> tuple:
+        """Hashable identity of this fault set, for route-cache keys.
+
+        Two fault sets with the same token produce identical reroutes on
+        the same base topology; distinct tokens keep a shared route cache
+        from leaking routes across differently-degraded wrappers.
+        """
+        if self.provenance is not None:
+            return ("sampled", *self.provenance)
+        return ("explicit", tuple(sorted(self.failed_links)),
+                tuple(sorted(self.failed_uplinks)))
+
     def describe(self) -> str:
         return (f"{len(self.failed_links) // 2} failed cables, "
                 f"{len(self.failed_uplinks)} dead uplink ports")
@@ -188,6 +200,22 @@ class DegradedTopology(Topology):
                                        faults=self.faults.describe())
         return detour
 
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """Surviving minimal candidates, rerouted deterministic walk first.
+
+        Candidate 0 is :meth:`vertex_path` — which may be a fail-over or
+        BFS detour when the deterministic route is cut.  The remaining
+        entries are the base topology's minimal candidates that survive the
+        fault set, so adaptive/ecmp selection keeps its spreading freedom
+        on the links that are still up.
+        """
+        det = self.vertex_path(src, dst)
+        out = [det]
+        for walk in self.base.vertex_path_candidates(src, dst):
+            if walk != det and self._walk_survives(walk):
+                out.append(walk)
+        return out
+
     def _walk_survives(self, path: list[int]) -> bool:
         """True when the walk avoids failed cables and dead uplink ports."""
         failed = self.faults.failed_links
@@ -230,9 +258,34 @@ class DegradedTopology(Topology):
             self._adjacency = adj
         return self._adjacency
 
+    def _endpoint_can_transit(self, endpoint: int, src: int, dst: int) -> bool:
+        """Whether a third-party endpoint may forward ``src -> dst`` traffic.
+
+        Switches always forward; endpoints only where the architecture
+        makes them routers: everywhere on a switchless direct network
+        (torus/mesh — the endpoints *are* the routers), and inside the
+        source or destination subtorus of a hybrid (lower-tier DOR
+        forwarding).  Leaf endpoints of indirect networks (trees, GHC,
+        dragonfly, jellyfish) terminate traffic — a detour through one
+        would be unimplementable on the real machine.
+        """
+        if self.num_switches == 0:
+            return True
+        if isinstance(self.base, NestedTopology):
+            return self.base.subtorus_of(endpoint) in (
+                self.base.subtorus_of(src), self.base.subtorus_of(dst))
+        return False
+
     def _detour(self, src: int, dst: int) -> list[int] | None:
-        """Deterministic shortest surviving walk, or ``None`` if cut off."""
+        """Deterministic shortest surviving walk, or ``None`` if cut off.
+
+        Intermediate vertices are restricted to those that can actually
+        forward traffic (see :meth:`_endpoint_can_transit`): without the
+        restriction the BFS happily routed through third-party endpoints'
+        NICs, producing walks no real network could realise.
+        """
         adj = self._surviving_adjacency()
+        ep = self.num_endpoints
         parent = {src: src}
         frontier = deque([src])
         while frontier:
@@ -243,9 +296,13 @@ class DegradedTopology(Topology):
                     path.append(parent[path[-1]])
                 return path[::-1]
             for neighbour in adj[vertex]:
-                if neighbour not in parent:
-                    parent[neighbour] = vertex
-                    frontier.append(neighbour)
+                if neighbour in parent:
+                    continue
+                if (neighbour < ep and neighbour != dst
+                        and not self._endpoint_can_transit(neighbour, src, dst)):
+                    continue
+                parent[neighbour] = vertex
+                frontier.append(neighbour)
         return None
 
     # ------------------------------------------------------------- inspection

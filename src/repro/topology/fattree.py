@@ -95,6 +95,16 @@ class FatTreeFabric:
         switches = updown.switch_path(src_port, dst_port, self.arities)
         return [self.switch_index(s) for s in switches]
 
+    def port_paths(self, src_port: int, dst_port: int) -> list[list[int]]:
+        """All minimal switch-id walks (every NCA choice), deterministic first."""
+        if src_port == dst_port:
+            raise TopologyError("no switch path between identical ports")
+        a, b = self.port_switch(src_port), self.port_switch(dst_port)
+        if a == b:
+            return [[a]]
+        return [[self.switch_index(s) for s in walk]
+                for walk in updown.switch_paths(src_port, dst_port, self.arities)]
+
     # --------------------------------------------------------------- analysis
     def routing_diameter(self) -> int:
         """Worst-case port-to-port hop count (access links included)."""
@@ -132,6 +142,15 @@ class FatTreeTopology(Topology):
             return [src]
         body = [self._switch_offset + s for s in self.fabric.port_path(src, dst)]
         return [src, *body, dst]
+
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal UP*/DOWN* walks (one per common-ancestor switch)."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [[src]]
+        return [[src, *(self._switch_offset + s for s in body), dst]
+                for body in self.fabric.port_paths(src, dst)]
 
     def routing_diameter(self) -> int:
         """Worst-case endpoint-to-endpoint hop count (``2 * stages``)."""

@@ -131,6 +131,16 @@ class GHCFabric:
         coords = ecube.path(self.coord_of(a), self.coord_of(b), self.radices)
         return [self.index_of(c) for c in coords]
 
+    def port_paths(self, src_port: int, dst_port: int) -> list[list[int]]:
+        """All minimal switch-id walks (every dimension-correction order)."""
+        if src_port == dst_port:
+            raise TopologyError("no switch path between identical ports")
+        a, b = self.port_switch(src_port), self.port_switch(dst_port)
+        if a == b:
+            return [[a]]
+        walks = ecube.paths(self.coord_of(a), self.coord_of(b), self.radices)
+        return [[self.index_of(c) for c in walk] for walk in walks]
+
     # --------------------------------------------------------------- analysis
     def routing_diameter(self) -> int:
         """Worst-case port-to-port hop count (access links included)."""
@@ -168,6 +178,15 @@ class GHCTopology(Topology):
             return [src]
         body = [self._switch_offset + s for s in self.fabric.port_path(src, dst)]
         return [src, *body, dst]
+
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal e-cube walks (every dimension-correction order)."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [[src]]
+        return [[src, *(self._switch_offset + s for s in body), dst]
+                for body in self.fabric.port_paths(src, dst)]
 
     def routing_diameter(self) -> int:
         """Worst-case endpoint-to-endpoint hop count."""

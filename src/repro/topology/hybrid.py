@@ -26,7 +26,7 @@ from typing import Protocol
 
 from repro.errors import TopologyError
 from repro.routing import dor
-from repro.topology.base import Topology
+from repro.topology.base import MAX_ROUTE_CANDIDATES, Topology
 from repro.topology.linktable import LinkTable
 from repro.units import DEFAULT_LINK_CAPACITY
 
@@ -43,6 +43,7 @@ class UpperFabric(Protocol):
     def build_links(self, links: LinkTable, offset: int, capacity: float) -> None: ...
     def port_switch(self, port: int) -> int: ...
     def port_path(self, src_port: int, dst_port: int) -> list[int]: ...
+    def port_paths(self, src_port: int, dst_port: int) -> list[list[int]]: ...
     def routing_diameter(self) -> int: ...
 
 
@@ -81,6 +82,25 @@ class SubtorusPlan:
         if len(uplinked) != self.nodes // u:          # placement-rule sanity
             raise TopologyError(
                 f"placement produced {len(uplinked)} uplinks, expected {self.nodes // u}")
+
+        # All uplinked nodes at minimal DOR distance from each node,
+        # designated uplink first.  These are the candidate exits for
+        # adaptive/ecmp routing: any of them reaches the upper fabric in the
+        # same number of lower-tier hops, so substituting one keeps the
+        # lower-tier leg minimal (the total route is still length-filtered
+        # against the deterministic route, because the upper-fabric leg may
+        # differ between exit ports).
+        self.tied_uplinks: list[tuple[int, ...]] = []
+        coords = [dor.index_to_coord(l, self.dims) for l in range(self.nodes)]
+        for local in range(self.nodes):
+            des = self.designated[local]
+            d0 = dor.distance(coords[local], coords[des], self.dims)
+            ties = [des]
+            for up in uplinked:
+                if up != des and dor.distance(coords[local], coords[up],
+                                              self.dims) == d0:
+                    ties.append(up)
+            self.tied_uplinks.append(tuple(ties))
 
     # ------------------------------------------------------------- placement
     def _is_uplinked(self, x: int, y: int, z: int) -> bool:
@@ -199,6 +219,21 @@ class NestedTopology(Topology):
                           self.plan.dims)
         return [base + dor.coord_to_index(c, self.plan.dims) for c in coords]
 
+    def _local_paths(self, a: int, b: int) -> list[list[int]]:
+        """All minimal DOR walks between same-subtorus endpoints (global ids)."""
+        base = (a // self.plan.nodes) * self.plan.nodes
+        walks = dor.paths(dor.index_to_coord(a - base, self.plan.dims),
+                          dor.index_to_coord(b - base, self.plan.dims),
+                          self.plan.dims)
+        return [[base + dor.coord_to_index(c, self.plan.dims) for c in walk]
+                for walk in walks]
+
+    def tied_uplinks_of(self, endpoint: int) -> list[int]:
+        """Uplinked endpoints at minimal DOR distance, designated first."""
+        s, local = divmod(endpoint, self.plan.nodes)
+        base = s * self.plan.nodes
+        return [base + up for up in self.plan.tied_uplinks[local]]
+
     # ---------------------------------------------------------------- routing
     def vertex_path(self, src: int, dst: int) -> list[int]:
         self._check_endpoint(src)
@@ -214,6 +249,42 @@ class NestedTopology(Topology):
                     for s in self.fabric.port_path(self.port_of(us), self.port_of(ud))]
         down = self._local_path(ud, dst)
         return up + switches + down
+
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal nested walks ``src -> dst``.
+
+        Intra-subtorus pairs expose every minimal DOR walk.  Inter-subtorus
+        pairs cross every combination of (tied exit uplink) x (minimal DOR
+        leg to it) x (minimal upper-fabric walk) x (tied entry uplink) x
+        (minimal DOR leg from it), filtered to the deterministic route's
+        total length — an alternate exit port can sit closer to or further
+        from the entry port in the upper fabric, and only same-length
+        combinations are minimal.  The deterministic route (designated
+        uplinks, d-mod-k fabric walk, positive wrap tie-breaks) comes first.
+        """
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [[src]]
+        if self.subtorus_of(src) == self.subtorus_of(dst):
+            return self._local_paths(src, dst)
+        det_len = len(self.vertex_path(src, dst))
+        out: list[list[int]] = []
+        for us in self.tied_uplinks_of(src):
+            for ud in self.tied_uplinks_of(dst):
+                fabric_walks = self.fabric.port_paths(self.port_of(us),
+                                                      self.port_of(ud))
+                for up in self._local_paths(src, us):
+                    for body in fabric_walks:
+                        switches = [self._switch_offset + s for s in body]
+                        for down in self._local_paths(ud, dst):
+                            walk = up + switches + down
+                            if len(walk) != det_len:
+                                continue
+                            out.append(walk)
+                            if len(out) >= MAX_ROUTE_CANDIDATES:
+                                return out
+        return out
 
     # --------------------------------------------------------------- analysis
     def _classify_links(self):

@@ -18,6 +18,7 @@ With ``u == k`` the layout and routes coincide with the fattree exactly
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Sequence
 
 from repro.errors import TopologyError
@@ -145,6 +146,43 @@ class ThinTreeFabric:
                                        digits[: level - 1]))
         return path
 
+    def port_paths(self, src_port: int, dst_port: int) -> list[list[int]]:
+        """All minimal switch-id walks: every up-digit choice per climb level,
+        with the deterministic d-mod-k combination first."""
+        if src_port == dst_port:
+            raise TopologyError("no switch path between identical ports")
+        a, b = self.port_switch(src_port), self.port_switch(dst_port)
+        if a == b:
+            return [[a]]
+        m = self.nca_level(src_port, dst_port)
+        dst_digits = []
+        rem = dst_port
+        for k, u in zip(self.down[:-1], self.up):
+            dst_digits.append((rem % k) % u)
+            rem //= k
+        choices = []
+        for level in range(1, m):
+            det = dst_digits[level - 1]
+            choices.append((det, *(x for x in range(self.up[level - 1])
+                                   if x != det)))
+
+        out: list[list[int]] = []
+        for combo in itertools.product(*choices):
+            path = []
+            subtree = src_port // self.down[0]
+            digits: tuple[int, ...] = ()
+            path.append(self.switch_id(1, subtree, digits))
+            for level in range(1, m):
+                digits = digits + (combo[level - 1],)
+                subtree //= self.down[level]
+                path.append(self.switch_id(level + 1, subtree, digits))
+            for level in range(m - 1, 0, -1):
+                path.append(self.switch_id(level,
+                                           dst_port // self._group[level],
+                                           digits[: level - 1]))
+            out.append(path)
+        return out
+
     # --------------------------------------------------------------- analysis
     def routing_diameter(self) -> int:
         return 2 * self.num_stages
@@ -186,6 +224,15 @@ class ThinTreeTopology(Topology):
         body = [self._switch_offset + s
                 for s in self.fabric.port_path(src, dst)]
         return [src, *body, dst]
+
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal UP*/DOWN* walks over the thinned up-ports."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        if src == dst:
+            return [[src]]
+        return [[src, *(self._switch_offset + s for s in body), dst]
+                for body in self.fabric.port_paths(src, dst)]
 
     def routing_diameter(self) -> int:
         return self.fabric.routing_diameter()

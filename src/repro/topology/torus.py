@@ -60,6 +60,17 @@ class TorusTopology(Topology):
                           self.dims, torus=self.wraparound)
         return [dor.coord_to_index(c, self.dims) for c in coords]
 
+    def vertex_path_candidates(self, src: int, dst: int) -> list[list[int]]:
+        """All minimal DOR walks: both wrap directions on exact even-radix
+        ties (deterministic positive tie-break first)."""
+        self._check_endpoint(src)
+        self._check_endpoint(dst)
+        walks = dor.paths(dor.index_to_coord(src, self.dims),
+                          dor.index_to_coord(dst, self.dims),
+                          self.dims, torus=self.wraparound)
+        return [[dor.coord_to_index(c, self.dims) for c in walk]
+                for walk in walks]
+
     # --------------------------------------------------------------- analysis
     def routing_diameter(self) -> int:
         """Exact worst-case DOR hop count."""

@@ -217,3 +217,90 @@ class TestDegradedSimulation:
         healthy = simulate(topo, flows).makespan
         degraded = simulate(degrade(topo, cables=6, seed=1), flows).makespan
         assert degraded >= healthy
+
+
+class TestDetourEndpointTransit:
+    """The BFS detour must not relay traffic through third-party endpoints.
+
+    Regression for a bug where the detour search treated every vertex as a
+    forwarder: on indirect networks (trees, GHC) a detour could enter a
+    leaf endpoint and leave again, a walk no real machine could realise.
+    Endpoints only forward where the architecture makes them routers —
+    everywhere on a switchless torus, and inside the source/destination
+    subtorus of a hybrid.
+    """
+
+    def forced_detours(self, family, cables, seed):
+        """(pair, walk) for every pair whose deterministic route was cut."""
+        topo = built(family)
+        deg = DegradedTopology(topo, fault_set(family, cables, seed))
+        out = []
+        for src in range(topo.num_endpoints):
+            for dst in range(topo.num_endpoints):
+                if src == dst:
+                    continue
+                base_walk = topo.vertex_path(src, dst)
+                try:
+                    walk = deg.vertex_path(src, dst)
+                except DegradedNetworkError:
+                    continue
+                if walk != base_walk:
+                    out.append(((src, dst), walk))
+        return out
+
+    @pytest.mark.parametrize("family", ("fattree", "thintree"))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_indirect_networks_never_relay_through_endpoints(self, family,
+                                                             seed):
+        topo = built(family)
+        detours = self.forced_detours(family, cables=8, seed=seed)
+        assert detours, "fault sample cut no deterministic route"
+        for (src, dst), walk in detours:
+            interior = walk[1:-1]
+            assert all(v >= topo.num_endpoints for v in interior), \
+                f"detour {src}->{dst} relays through an endpoint: {walk}"
+
+    def test_ghc_cut_pairs_disconnect_instead_of_relaying(self):
+        # a GHC endpoint's dimension port is its only path into that
+        # dimension: once the cable dies the pair is genuinely cut.  The
+        # buggy detour instead "fixed" it by bouncing through a peer
+        # endpoint — a walk no real machine could realise.
+        topo = built("ghc")
+        deg = DegradedTopology(topo, fault_set("ghc", 8, 0))
+        cut = 0
+        for src in range(topo.num_endpoints):
+            for dst in range(topo.num_endpoints):
+                if src == dst:
+                    continue
+                survives = deg._walk_survives(topo.vertex_path(src, dst))
+                if survives:
+                    assert deg.vertex_path(src, dst) == \
+                        topo.vertex_path(src, dst)
+                else:
+                    cut += 1
+                    with pytest.raises(DegradedNetworkError):
+                        deg.vertex_path(src, dst)
+        assert cut, "fault sample cut no deterministic route"
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_hybrid_transit_endpoints_stay_in_the_end_subtori(self, seed):
+        topo = built("nesttree")
+        detours = self.forced_detours("nesttree", cables=8, seed=seed)
+        assert detours, "fault sample cut no deterministic route"
+        for (src, dst), walk in detours:
+            allowed = {topo.subtorus_of(src), topo.subtorus_of(dst)}
+            for v in walk[1:-1]:
+                if v < topo.num_endpoints:
+                    assert topo.subtorus_of(v) in allowed, \
+                        f"detour {src}->{dst} relays through a foreign " \
+                        f"subtorus endpoint: {walk}"
+
+    def test_torus_endpoints_still_forward(self):
+        # switchless direct networks route *through* endpoints by design;
+        # the transit restriction must not disconnect them
+        topo = built("torus")
+        deg = DegradedTopology(topo, fault_set("torus", 6, 3))
+        for src in range(0, 64, 5):
+            for dst in range(2, 64, 7):
+                walk = deg.vertex_path(src, dst)
+                assert walk[0] == src and walk[-1] == dst

@@ -1,0 +1,154 @@
+"""Property tests for the multi-path candidate-set routing API.
+
+Every registered topology family must honour the ``route_candidates``
+contract: candidate 0 is the deterministic route, every candidate is a
+minimal walk with the right endpoints, candidates are distinct, and each
+maps through the link table exactly like ``route()`` does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import available, build
+from repro.topology.base import MAX_ROUTE_CANDIDATES
+
+#: One buildable instance per registered topology family.
+FAMILY_SIZES = {"torus": 64, "fattree": 64, "thintree": 64, "ghc": 64,
+                "nesttree": 64, "nestghc": 64, "dragonfly": 72,
+                "jellyfish": 64}
+FAMILY_PARAMS = {"nesttree": {"t": 2, "u": 2}, "nestghc": {"t": 2, "u": 2}}
+
+#: Families whose routing rules admit more than one minimal route at this
+#: scale (wrap ties, redundant tree ancestors, e-cube orders, hybrid
+#: uplink/fabric combinations).  dragonfly/jellyfish keep the default
+#: single-candidate behaviour.
+MULTIPATH_FAMILIES = ("torus", "fattree", "thintree", "ghc",
+                     "nesttree", "nestghc")
+
+_built: dict[str, object] = {}
+
+
+def built(family):
+    if family not in _built:
+        _built[family] = build(family, FAMILY_SIZES[family],
+                               **FAMILY_PARAMS.get(family, {}))
+    return _built[family]
+
+
+def test_every_family_is_covered():
+    assert set(FAMILY_SIZES) == set(available())
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_SIZES))
+class TestCandidateContract:
+    """The route_candidates invariants, per family, over sampled pairs."""
+
+    def pairs(self, topo, count=40, seed=0):
+        rng = np.random.default_rng(seed)
+        n = topo.num_endpoints
+        return [(int(rng.integers(n)), int(rng.integers(n)))
+                for _ in range(count)]
+
+    def test_first_candidate_is_the_deterministic_route(self, family):
+        topo = built(family)
+        for src, dst in self.pairs(topo):
+            assert topo.route_candidates(src, dst)[0] == topo.route(src, dst)
+
+    def test_candidates_are_minimal(self, family):
+        topo = built(family)
+        for src, dst in self.pairs(topo):
+            cands = topo.route_candidates(src, dst)
+            det_len = len(cands[0])
+            assert all(len(c) == det_len for c in cands)
+
+    def test_candidates_are_distinct_and_capped(self, family):
+        topo = built(family)
+        for src, dst in self.pairs(topo):
+            cands = topo.route_candidates(src, dst)
+            keys = {tuple(c) for c in cands}
+            assert len(keys) == len(cands)
+            assert 1 <= len(cands) <= MAX_ROUTE_CANDIDATES
+
+    def test_candidates_map_through_the_link_table(self, family):
+        """Each candidate is NIC-in, a connected link chain, NIC-out."""
+        topo = built(family)
+        srcs, dsts = topo.links.sources, topo.links.destinations
+        for src, dst in self.pairs(topo, count=15):
+            for cand in topo.route_candidates(src, dst):
+                assert cand[0] == int(topo.injection_links[src])
+                assert cand[-1] == int(topo.consumption_links[dst])
+                body = cand[1:-1]
+                # the network chain starts at src, ends at dst, and every
+                # consecutive link pair shares a vertex
+                if body:
+                    assert int(srcs[body[0]]) == src
+                    assert int(dsts[body[-1]]) == dst
+                    for a, b in zip(body, body[1:]):
+                        assert int(dsts[a]) == int(srcs[b])
+
+    def test_vertex_candidates_have_the_right_endpoints(self, family):
+        topo = built(family)
+        for src, dst in self.pairs(topo, count=15):
+            for walk in topo.vertex_path_candidates(src, dst):
+                assert walk[0] == src
+                assert walk[-1] == dst
+
+    def test_self_pair_is_the_trivial_route(self, family):
+        topo = built(family)
+        cands = topo.route_candidates(3, 3)
+        assert cands == [topo.route(3, 3)]
+
+
+@pytest.mark.parametrize("family", MULTIPATH_FAMILIES)
+def test_multipath_families_expose_spreading_freedom(family):
+    """Every multi-path family has at least one pair with > 1 candidate."""
+    topo = built(family)
+    n = topo.num_endpoints
+    assert any(len(topo.route_candidates(s, d)) > 1
+               for s in range(0, n, 7) for d in range(0, n, 5))
+
+
+@pytest.mark.parametrize("family", ("dragonfly", "jellyfish"))
+def test_single_path_families_keep_the_default(family):
+    topo = built(family)
+    rng = np.random.default_rng(1)
+    n = topo.num_endpoints
+    for _ in range(25):
+        s, d = int(rng.integers(n)), int(rng.integers(n))
+        assert topo.route_candidates(s, d) == [topo.route(s, d)]
+
+
+class TestTorusWrapTie:
+    """Even-radix wrap ties expose both directions (the dor bugfix)."""
+
+    def test_tie_pair_has_both_wrap_directions(self):
+        topo = built("torus")  # 4x4x4: delta 2 ties in every dimension
+        # endpoints 0 and 2 differ by exactly half the radix in dim 0
+        cands = topo.vertex_path_candidates(0, 2)
+        assert len(cands) == 2
+        # one walk goes through vertex 1, the other wraps through vertex 3
+        interiors = {tuple(w[1:-1]) for w in cands}
+        assert interiors == {(1,), (3,)}
+
+    def test_three_tied_dimensions_give_eight_candidates(self):
+        topo = built("torus")
+        src = 0
+        dst = 2 + 2 * 4 + 2 * 16  # (2, 2, 2): a tie in every dimension
+        assert len(topo.route_candidates(src, dst)) == 8
+
+
+@given(st.sampled_from(sorted(FAMILY_SIZES)), st.data())
+@settings(max_examples=60, deadline=None)
+def test_candidate_contract_property(family, data):
+    topo = built(family)
+    n = topo.num_endpoints
+    src = data.draw(st.integers(0, n - 1))
+    dst = data.draw(st.integers(0, n - 1))
+    cands = topo.route_candidates(src, dst)
+    assert cands[0] == topo.route(src, dst)
+    assert len({tuple(c) for c in cands}) == len(cands)
+    assert all(len(c) == len(cands[0]) for c in cands)
