@@ -10,6 +10,8 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
     repro profile allreduce nesttree --t 2 --u 4   # tier/timing tables
     repro resilience --endpoints 4096 --workload allreduce \
         --fail-links 0 4 16 64 --jobs 4   # makespan vs failed cables
+    repro campaign --endpoints 512 --workload allreduce --seeds 0:16 \
+        --cables 8 --jobs 4 --report campaign.json   # availability MC
     repro optimize --endpoints 512 --budget 40 --seed 7 \
         --report front.json               # search the design space
     repro info
@@ -159,6 +161,69 @@ def main(argv: list[str] | None = None) -> int:
                     metavar="FAMILY",
                     help="subset of topology families to sweep "
                          "(default: the full design space)")
+    ps.add_argument("--seeds", default=None, metavar="A:B",
+                    help="fault-seed range ('A:B' half-open, or a single "
+                         "integer): each degraded cell is resampled per "
+                         "seed and the table reports mean makespans "
+                         "(default: --fail-seed only)")
+
+    pc = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo availability campaign over transient fault "
+             "timelines")
+    _add_common(pc, endpoints=DEFAULT_ENDPOINTS)
+    pc.add_argument("--workload", required=True,
+                    help="workload replayed under every fault timeline")
+    pc.add_argument("--topologies", nargs="*", default=None,
+                    metavar="FAMILY|LABEL",
+                    help="topology families or exact labels, e.g. torus "
+                         "or 'nesttree(2,4)' (default: the full design "
+                         "space)")
+    pc.add_argument("--seeds", default="0:8", metavar="A:B",
+                    help="timeline seeds, one Monte-Carlo sample each "
+                         "('A:B' half-open, or a single integer; "
+                         "default 0:8)")
+    pc.add_argument("--cables", type=int, default=4, metavar="N",
+                    help="transient duplex-cable faults per timeline "
+                         "(default 4)")
+    pc.add_argument("--uplinks", type=int, default=0, metavar="N",
+                    help="transient uplink-port faults per timeline, "
+                         "hybrids only (default 0)")
+    pc.add_argument("--horizon-frac", type=float, default=1.0,
+                    metavar="FRAC",
+                    help="failure-window length as a fraction of each "
+                         "topology's healthy makespan (default 1.0)")
+    pc.add_argument("--mttr-frac", type=float, default=0.25, metavar="FRAC",
+                    help="mean time to repair as a fraction of the healthy "
+                         "makespan; 0 makes faults permanent "
+                         "(default 0.25)")
+    pc.add_argument("--fidelity", choices=("exact", "approx"),
+                    default="approx", help="engine fidelity (default approx)")
+    pc.add_argument("--quadratic-tasks", type=int,
+                    default=DEFAULT_QUADRATIC_TASKS,
+                    help="task cap for MapReduce/n-Bodies")
+    pc.add_argument("--bootstrap", type=int, default=1000, metavar="N",
+                    help="bootstrap resamples behind the slowdown CIs "
+                         "(default 1000)")
+    pc.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default 1: serial)")
+    pc.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="base checkpoint path (PATH.healthy.jsonl / "
+                         "PATH.mc.jsonl)")
+    pc.add_argument("--resume", action="store_true",
+                    help="skip cells already present in the checkpoints")
+    pc.add_argument("--cell-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="wall-clock cap per simulation cell")
+    pc.add_argument("--metrics", default=None, metavar="PATH",
+                    help="stream one obs metrics record per Monte-Carlo "
+                         "cell (includes the transient recovery counters) "
+                         "to this JSONL file")
+    pc.add_argument("--report", default=None, metavar="PATH",
+                    help="write the schema-versioned JSON report here")
+    pc.add_argument("--quiet", action="store_true",
+                    help="suppress progress logging")
+    _add_routing(pc)
 
     pr = sub.add_parser("run", help="one (topology, workload) simulation")
     _add_common(pr, endpoints=DEFAULT_ENDPOINTS)
@@ -249,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_figure(args, heavy=args.command == "fig4")
     elif args.command == "resilience":
         _run_resilience(args)
+    elif args.command == "campaign":
+        _run_campaign(args)
     elif args.command == "optimize":
         _run_optimize(args)
     elif args.command == "run":
@@ -297,6 +364,9 @@ def _validate(parser: argparse.ArgumentParser,
                 parser.error(
                     f"unknown topology family {family!r}; "
                     f"choose from: {', '.join(topo_available())}")
+        _parse_seeds_arg(parser, args.seeds)
+    if args.command == "campaign":
+        _validate_campaign(parser, args)
     if args.command == "run" and args.workload not in available():
         parser.error(f"unknown workload {args.workload!r}; "
                      f"choose from: {', '.join(available())}")
@@ -377,6 +447,57 @@ def _validate_optimize(parser: argparse.ArgumentParser,
                      f"seconds, got {args.cell_timeout}")
 
 
+def _parse_seeds_arg(parser: argparse.ArgumentParser,
+                     spec: str | None) -> list[int] | None:
+    """Expand an ``A:B`` seed-range flag, exiting 2 on a malformed one."""
+    from repro.errors import ConfigError
+    from repro.sweep import parse_seed_range
+
+    if spec is None:
+        return None
+    try:
+        return parse_seed_range(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+
+def _validate_campaign(parser: argparse.ArgumentParser,
+                       args: argparse.Namespace) -> None:
+    """Range-check the campaign flags (exit 2, valid choices listed)."""
+    from repro.workloads import available
+
+    if args.endpoints % 8:
+        parser.error(
+            f"--endpoints must be a multiple of 8 so the campaign's "
+            f"2x2x2 subtori tile the system, got {args.endpoints}")
+    if args.workload not in available():
+        parser.error(f"unknown workload {args.workload!r}; "
+                     f"choose from: {', '.join(available())}")
+    _parse_seeds_arg(parser, args.seeds)
+    if args.cables < 0:
+        parser.error(f"--cables must be >= 0, got {args.cables}")
+    if args.uplinks < 0:
+        parser.error(f"--uplinks must be >= 0, got {args.uplinks}")
+    if not args.cables and not args.uplinks:
+        parser.error("a campaign needs at least one transient fault per "
+                     "timeline; set --cables and/or --uplinks")
+    if args.horizon_frac <= 0:
+        parser.error(f"--horizon-frac must be positive, "
+                     f"got {args.horizon_frac}")
+    if args.mttr_frac < 0:
+        parser.error(f"--mttr-frac must be >= 0 (0 disables repair), "
+                     f"got {args.mttr_frac}")
+    if args.bootstrap < 1:
+        parser.error(f"--bootstrap must be >= 1, got {args.bootstrap}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be a positive number of "
+                     f"seconds, got {args.cell_timeout}")
+
+
 def _validate_faults(parser: argparse.ArgumentParser,
                      args: argparse.Namespace) -> None:
     """Range-check the fault-injection and robustness flags (exit 2)."""
@@ -437,7 +558,7 @@ def _run_resilience(args: argparse.Namespace) -> None:
     """
     from repro.core.config import HYBRID_FAMILIES
     from repro.core.explorer import PLACEMENT_POLICY, ResultTable
-    from repro.sweep import SweepCell, SweepPlan, run_sweep
+    from repro.sweep import SweepCell, SweepPlan, parse_seed_range, run_sweep
 
     explorer = DesignSpaceExplorer(
         args.endpoints, fidelity=args.fidelity,
@@ -449,15 +570,21 @@ def _run_resilience(args: argparse.Namespace) -> None:
     wspec = explorer.workload_spec(args.workload)
     policy = PLACEMENT_POLICY.get(args.workload, "spread")
     counts = list(dict.fromkeys(args.fail_links))  # dedupe, keep order
+    seeds = parse_seed_range(args.seeds) if args.seeds \
+        else [args.fail_seed]
     cells = []
     for count in counts:
         for tspec in specs:
             uplinks = (args.fail_uplinks if tspec.family in HYBRID_FAMILIES
                        else 0)
-            cells.append(SweepCell(
-                workload=wspec, topology=tspec, placement=policy,
-                fail_links=count, fail_uplinks=uplinks,
-                fail_seed=args.fail_seed, routing=args.routing))
+            # a healthy cell's key carries no fault seed: resampling it
+            # per seed would just run the identical cell repeatedly
+            cell_seeds = seeds if (count or uplinks) else seeds[:1]
+            for fseed in cell_seeds:
+                cells.append(SweepCell(
+                    workload=wspec, topology=tspec, placement=policy,
+                    fail_links=count, fail_uplinks=uplinks,
+                    fail_seed=fseed, routing=args.routing))
     plan = SweepPlan(endpoints=args.endpoints, fidelity=args.fidelity,
                      seed=args.seed, cells=tuple(cells))
     log = None if args.quiet else \
@@ -468,28 +595,36 @@ def _run_resilience(args: argparse.Namespace) -> None:
                         cell_timeout=args.cell_timeout,
                         metrics_path=args.metrics)
 
-    by_cell = {(r.topology, r.faults["cables"] if r.faults else 0): r
-               for r in records}
+    by_cell: dict[tuple[str, int], list] = {}
+    for r in records:
+        key = (r.topology, r.faults["cables"] if r.faults else 0)
+        by_cell.setdefault(key, []).append(r)
     labels = list(dict.fromkeys(s.label() for s in specs))
+    seed_note = (f"fault seeds {seeds[0]}..{seeds[-1]}, mean over "
+                 f"{len(seeds)} samples" if len(seeds) > 1
+                 else f"fault seed {seeds[0]}")
     print(f"Resilience sweep: {args.workload} @ {args.endpoints} endpoints "
-          f"(fault seed {args.fail_seed}, "
+          f"({seed_note}, "
           f"{args.fail_uplinks} uplink-port faults on hybrids)")
     header = f"{'topology':>16}" + "".join(
         f"{f'links={c}':>16}" for c in counts)
     print(header)
     for label in labels:
-        healthy = by_cell.get((label, 0))
+        healthy_runs = by_cell.get((label, 0))
+        healthy = (sum(r.makespan for r in healthy_runs)
+                   / len(healthy_runs)) if healthy_runs else None
         row = [f"{label:>16}"]
         for count in counts:
-            record = by_cell.get((label, count))
-            if record is None:
+            cell_runs = by_cell.get((label, count))
+            if not cell_runs:
                 row.append(f"{'failed':>16}")
-            elif healthy is not None and healthy.makespan > 0:
-                slowdown = record.makespan / healthy.makespan
-                row.append(f"{record.makespan * 1e3:8.3f}ms"
-                           f" {slowdown:4.2f}x")
+                continue
+            makespan = sum(r.makespan for r in cell_runs) / len(cell_runs)
+            if healthy is not None and healthy > 0:
+                row.append(f"{makespan * 1e3:8.3f}ms"
+                           f" {makespan / healthy:4.2f}x")
             else:
-                row.append(f"{record.makespan * 1e3:14.3f}ms")
+                row.append(f"{makespan * 1e3:14.3f}ms")
         print("".join(row))
     if args.out:
         table = ResultTable(endpoints=args.endpoints, fidelity=args.fidelity)
@@ -498,6 +633,51 @@ def _run_resilience(args: argparse.Namespace) -> None:
         with open(args.out, "w") as fh:
             fh.write(table.to_csv())
         print(f"\nraw results written to {args.out}", file=sys.stderr)
+
+
+def _run_campaign(args: argparse.Namespace) -> None:
+    """Monte-Carlo availability campaign over transient fault timelines.
+
+    One seeded :class:`~repro.topology.timeline.FaultTimeline` per seed is
+    replayed per topology; the report gives slowdown distributions with
+    bootstrap CIs and availability (the fraction of timelines the workload
+    survives).  Deterministic under fixed flags — ``--report`` output is
+    byte-identical across runs, so it can be committed as an artifact.
+    """
+    from repro.core.explorer import PLACEMENT_POLICY
+    from repro.errors import ConfigError
+    from repro.sweep import (campaign_table, parse_seed_range, run_campaign,
+                             write_campaign_report)
+    from repro.sweep.campaign import _select_topologies
+
+    explorer = DesignSpaceExplorer(
+        args.endpoints, fidelity=args.fidelity,
+        quadratic_tasks=args.quadratic_tasks, seed=args.seed,
+        progress=not args.quiet)
+    log = None if args.quiet else \
+        (lambda m: print(f"[campaign] {m}", file=sys.stderr, flush=True))
+    try:
+        topologies = _select_topologies(explorer.topology_specs(),
+                                        args.topologies)
+        report = run_campaign(
+            endpoints=args.endpoints,
+            workload=explorer.workload_spec(args.workload),
+            topologies=topologies,
+            placement=PLACEMENT_POLICY.get(args.workload, "spread"),
+            seeds=parse_seed_range(args.seeds),
+            cables=args.cables, uplinks=args.uplinks,
+            horizon_frac=args.horizon_frac, mttr_frac=args.mttr_frac,
+            fidelity=args.fidelity, seed=args.seed, routing=args.routing,
+            jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume,
+            log=log, cell_timeout=args.cell_timeout,
+            metrics_path=args.metrics, bootstrap=args.bootstrap)
+    except ConfigError as exc:
+        print(f"repro campaign: error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    print(campaign_table(report))
+    if args.report:
+        path = write_campaign_report(report, args.report)
+        print(f"report written to {path}", file=sys.stderr)
 
 
 def _run_optimize(args: argparse.Namespace) -> None:

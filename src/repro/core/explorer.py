@@ -67,6 +67,12 @@ class RunRecord:
     faults: dict | None = None
     #: Routing policy the cell simulated under (see repro.routing.policy).
     routing: str = "deterministic"
+    #: Transient-timeline fingerprint (TimelineSpec.fingerprint()) when the
+    #: cell ran under a fault timeline; None for static/healthy cells.
+    timeline: dict | None = None
+    #: Recovery counters from the transient engine (result.transient);
+    #: None unless the cell ran under a fault timeline.
+    transient: dict | None = None
 
 
 @dataclass

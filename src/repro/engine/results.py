@@ -32,6 +32,12 @@ class SimulationResult:
     #: (``{"allocator", "full_passes", "warm_fills"}``); ``None`` for a
     #: run that never allocated (empty flow set).
     allocator_stats: dict | None = None
+    #: Transient-fault recovery counters (``fault_events``,
+    #: ``flows_rerouted``, ``flows_parked``, ``flows_recovered``,
+    #: ``rerouted_bits``, ``recovery_seconds``) when the run carried a
+    #: non-empty :class:`~repro.topology.timeline.FaultTimeline`;
+    #: ``None`` for every other run.
+    transient: dict | None = None
 
     @property
     def aggregate_throughput(self) -> float:

@@ -49,6 +49,7 @@ from repro.topology.degraded import FaultSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsCollector
+    from repro.topology.timeline import FaultTimeline
 
 #: Relative tie window for batching completions.
 _TIE_EPS = 1e-9
@@ -149,7 +150,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
              route_cache: dict | None = None,
              metrics: MetricsCollector | None = None,
              allocator: str = "incremental",
-             routing: str = "deterministic"
+             routing: str = "deterministic",
+             fault_timeline: FaultTimeline | None = None
              ) -> SimulationResult:
     """Run a workload on a topology and return completion statistics.
 
@@ -195,6 +197,16 @@ def simulate(topology: Topology, flows: FlowSet, *,
         candidates) or ``"adaptive"`` (per-flow least-congested candidate
         by live link occupancy, deterministic route as escape).  See
         :mod:`repro.routing.policy` and ``docs/routing.md``.
+    fault_timeline:
+        Optional :class:`~repro.topology.timeline.FaultTimeline`.  A
+        non-empty timeline dispatches to the transient engine
+        (:mod:`repro.engine.transient`): the network degrades and heals
+        mid-run, in-flight flows are recovered across fault events, and
+        ``result.transient`` carries the recovery counters.  Requires the
+        incremental allocator and the *healthy* base topology (static
+        faults belong in the timeline as events at ``t <= 0``).  ``None``
+        or an empty timeline leaves this code path untouched — results
+        are bitwise-identical to a call without the argument.
     """
     if fidelity not in _FIDELITIES:
         raise SimulationError(f"fidelity must be one of {_FIDELITIES}")
@@ -215,6 +227,16 @@ def simulate(topology: Topology, flows: FlowSet, *,
                                 fidelity=fidelity, num_flows=0,
                                 reallocations=0, events=0, total_bits=0.0,
                                 metrics=snap)
+
+    if fault_timeline is not None and not fault_timeline.empty:
+        if allocator != "incremental":
+            raise SimulationError(
+                "fault timelines require allocator='incremental' (the "
+                "rebuild baseline predates in-flight recovery)")
+        from repro.engine.transient import simulate_transient
+        return simulate_transient(topology, flows, placement, fidelity,
+                                  max_events, route_cache, collector,
+                                  routing, fault_timeline)
 
     if allocator == "rebuild":
         return _simulate_rebuild(topology, flows, placement, fidelity,

@@ -83,6 +83,7 @@ class MetricsCollector:
                               "warm": 0}
         self.timers_s: dict[str, float] = {}
         self.routing = "deterministic"
+        self.transient: dict | None = None
 
     def set_routing(self, policy: str) -> None:
         """Record which routing policy the engine ran under (snapshotted)."""
@@ -133,6 +134,10 @@ class MetricsCollector:
         """Accumulate wall-clock time under a span name."""
         self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
 
+    def record_transient(self, counters: dict) -> None:
+        """Attach the transient engine's recovery counters (snapshotted)."""
+        self.transient = dict(counters)
+
     # --------------------------------------------------------------- snapshot
     def snapshot(self, topology, makespan: float) -> dict:
         """Schema-versioned, JSON-serialisable summary of the run.
@@ -166,7 +171,7 @@ class MetricsCollector:
                 "peak_utilisation": peak_util,
                 "occupancy": occupancy,
             }
-        return {
+        out = {
             "schema": SCHEMA_VERSION,
             # extra key relative to _SNAPSHOT_FIELDS: validation checks
             # missing fields only, so older snapshots keep validating
@@ -190,10 +195,17 @@ class MetricsCollector:
                 # not in _ALLOCATOR_FIELDS: snapshots written before the
                 # incremental allocator existed must keep validating
                 "warm_reallocations": self.alloc_reasons.get("warm", 0),
+                # likewise post-dates the schema: fault-boundary reallocs
+                "fault_reallocations": self.alloc_reasons.get("fault", 0),
             },
             "timers_s": {k: float(v) for k, v in sorted(self.timers_s.items())},
             "tiers": tiers,
         }
+        if self.transient is not None:
+            # extra key (validation checks missing fields only): recovery
+            # counters from the transient engine, absent on healthy runs
+            out["transient"] = dict(self.transient)
+        return out
 
 
 def validate_snapshot(doc: dict) -> None:

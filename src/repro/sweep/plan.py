@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import TopologySpec, WorkloadSpec
+from repro.errors import ConfigError
+from repro.topology.timeline import TimelineSpec
 
 
 @dataclass(frozen=True)
@@ -31,6 +33,13 @@ class SweepCell:
     ``routing`` selects the candidate-selection policy
     (:data:`repro.routing.ROUTING_POLICIES`); the default keeps the
     engine's single-path behaviour and pre-existing checkpoint keys.
+
+    ``timeline`` attaches a *transient* fault trace
+    (:class:`~repro.topology.timeline.TimelineSpec`, built against the
+    cell's topology at run time): the network degrades and heals mid-run
+    and the record carries the recovery counters.  Mutually exclusive
+    with the static fault knobs — a static set is just a timeline whose
+    events all precede ``t=0``.
     """
 
     workload: WorkloadSpec
@@ -40,6 +49,13 @@ class SweepCell:
     fail_uplinks: int = 0
     fail_seed: int = 0
     routing: str = "deterministic"
+    timeline: TimelineSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeline is not None and self.has_faults():
+            raise ConfigError(
+                "a cell takes static faults or a transient timeline, not "
+                "both; encode the static set as timeline events at t <= 0")
 
     def has_faults(self) -> bool:
         return bool(self.fail_links or self.fail_uplinks)
@@ -66,6 +82,11 @@ class SweepCell:
             return ""  # default-policy cells keep their pre-routing keys
         return f"|routing({self.routing})"
 
+    def _timeline_suffix(self) -> str:
+        if self.timeline is None:
+            return ""  # static cells keep their pre-timeline keys
+        return f"|{self.timeline.label()}"
+
     def key(self) -> str:
         """Stable checkpoint key.
 
@@ -79,7 +100,8 @@ class SweepCell:
         """
         tasks = "all" if self.workload.tasks is None else self.workload.tasks
         return (f"{self.workload.name}@{tasks}|{self.topology.label()}"
-                f"{self._fault_suffix()}{self._routing_suffix()}")
+                f"{self._fault_suffix()}{self._routing_suffix()}"
+                f"{self._timeline_suffix()}")
 
 
 @dataclass(frozen=True)

@@ -263,10 +263,15 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
         from repro.obs import MetricsCollector
 
         collector = MetricsCollector(topology.links.num_links)
+    # the spec is rebuilt against the concrete topology wherever the cell
+    # runs, so serial and parallel runs sample the identical event trace
+    timeline = cell.timeline.build(topology) if cell.timeline is not None \
+        else None
     t0 = time.perf_counter()
     result = simulate(topology, flows, placement=placement,
                       fidelity=plan.fidelity, route_cache=route_cache,
-                      metrics=collector, routing=cell.routing)
+                      metrics=collector, routing=cell.routing,
+                      fault_timeline=timeline)
     wall = time.perf_counter() - t0
     doc = {
         "key": cell.key(),
@@ -283,6 +288,10 @@ def _run_cell(plan: SweepPlan, cell: SweepCell, topology: Topology,
         "reallocations": result.reallocations,
         "wall_seconds": wall,
     }
+    if cell.timeline is not None:
+        doc["timeline"] = cell.timeline.fingerprint()
+    if result.transient is not None:
+        doc["transient"] = result.transient
     if result.metrics is not None:
         doc["metrics"] = result.metrics
     return doc
@@ -306,7 +315,8 @@ def _to_record(doc: dict) -> RunRecord:
         makespan=doc["makespan"], num_flows=doc["num_flows"],
         events=doc["events"], reallocations=doc["reallocations"],
         wall_seconds=doc["wall_seconds"], faults=doc.get("faults"),
-        routing=doc.get("routing", "deterministic"))
+        routing=doc.get("routing", "deterministic"),
+        timeline=doc.get("timeline"), transient=doc.get("transient"))
 
 
 def _cell_log_line(doc: dict) -> str:
@@ -314,6 +324,9 @@ def _cell_log_line(doc: dict) -> str:
     if doc.get("faults"):
         f = doc["faults"]
         label += f"+{f['cables']}c/{f['uplinks']}u"
+    if doc.get("timeline"):
+        t = doc["timeline"]
+        label += f"±{t.get('cables', '?')}c/{t.get('uplinks', '?')}u"
     if doc.get("routing", "deterministic") != "deterministic":
         label += f"~{doc['routing']}"
     return (f"  {label:>16}: {doc['makespan'] * 1e3:9.3f} ms "

@@ -17,7 +17,8 @@ from repro.topology.base import Topology
 from repro.topology.bisection import (bisection_bandwidth, bisection_cables,
                                       bisection_per_endpoint)
 from repro.topology.cost import CostModel, overhead_row
-from repro.topology.degraded import DegradedTopology, FaultSet, degrade
+from repro.topology.degraded import (DegradedTopology, FaultSet, degrade,
+                                     validate_fault_ids)
 from repro.topology.dragonfly import DragonflyTopology, plan_dragonfly
 from repro.topology.energy import EnergyModel, EnergyReport
 from repro.topology.fattree import FatTreeFabric, FatTreeTopology
@@ -32,6 +33,8 @@ from repro.topology.nestghc import NestGHC
 from repro.topology.nesttree import NestTree
 from repro.topology.registry import available, build, register
 from repro.topology.thintree import ThinTreeFabric, ThinTreeTopology
+from repro.topology.timeline import (FaultEvent, FaultTimeline, TimelineEpoch,
+                                     TimelineSpec)
 from repro.topology.torus import TorusTopology
 
 __all__ = [
@@ -42,9 +45,14 @@ __all__ = [
     "EnergyModel",
     "EnergyReport",
     "DegradedTopology",
+    "FaultEvent",
     "FaultSet",
+    "FaultTimeline",
+    "TimelineEpoch",
+    "TimelineSpec",
     "VulnerabilityReport",
     "degrade",
+    "validate_fault_ids",
     "failover_coverage",
     "reroute_uplinks",
     "sample_link_failures",

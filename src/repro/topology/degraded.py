@@ -122,6 +122,57 @@ class FaultSet:
                 f"{len(self.failed_uplinks)} dead uplink ports")
 
 
+def validate_fault_ids(topology: Topology, failed_links, failed_uplinks
+                       ) -> None:
+    """Range-check fault ids against ``topology``, naming the offenders.
+
+    A fault set sampled on one topology and applied to another used to
+    surface as an opaque ``unknown link id`` from the link table (or worse,
+    silently degrade the wrong cables when the ids happened to be in
+    range on both machines — same count, different wiring).  This is the
+    single validation path: :class:`DegradedTopology` runs it at wrap time
+    and :meth:`~repro.topology.timeline.FaultTimeline.validate` per event.
+    """
+    links = topology.links
+    num_links = links.num_links
+    nic_base = topology.num_endpoints + topology.num_switches
+    unknown = sorted(lid for lid in failed_links
+                     if not 0 <= int(lid) < num_links)
+    if unknown:
+        raise TopologyError(
+            f"fault set names unknown link id(s) {unknown[:8]} "
+            f"(this topology has {num_links} links); was it sampled on a "
+            f"different topology?")
+    for lid in failed_links:
+        u, v = links.endpoints_of(lid)
+        if u >= nic_base or v >= nic_base:
+            raise TopologyError(
+                f"failed link {lid} is a NIC link; NIC faults are a "
+                f"different model (dead node)")
+        if links.id_of(v, u) not in failed_links:
+            raise TopologyError(
+                f"failed link {lid} ({u}->{v}) without its reverse; "
+                f"cables fail as whole duplex pairs")
+    if failed_uplinks:
+        if not isinstance(topology, NestedTopology):
+            raise TopologyError(
+                "uplink-port faults only apply to hybrid topologies")
+        foreign = sorted(e for e in failed_uplinks
+                         if not 0 <= int(e) < topology.num_endpoints)
+        if foreign:
+            raise TopologyError(
+                f"fault set names unknown endpoint id(s) {foreign[:8]} as "
+                f"dead uplink ports (this topology has "
+                f"{topology.num_endpoints} endpoints); was it sampled on a "
+                f"different topology?")
+        portless = sorted(
+            e for e in failed_uplinks
+            if (int(e) % topology.plan.nodes) not in topology.plan.uplink_rank)
+        if portless:
+            raise TopologyError(
+                f"endpoint(s) {portless[:8]} have no uplink port to fail")
+
+
 class DegradedTopology(Topology):
     """A topology with injected faults, routed around where possible.
 
@@ -150,31 +201,38 @@ class DegradedTopology(Topology):
         self._inj = base.injection_links
         self._cons = base.consumption_links
         self._adjacency: list[list[int]] | None = None
-        self._validate()
+        self._disabled_mask: np.ndarray | None = None
+        validate_fault_ids(base, faults.failed_links, faults.failed_uplinks)
 
-    # ------------------------------------------------------------ validation
-    def _validate(self) -> None:
-        nic_base = self.num_endpoints + self.num_switches
-        for lid in self.faults.failed_links:
-            u, v = self.links.endpoints_of(lid)  # raises on unknown ids
-            if u >= nic_base or v >= nic_base:
-                raise TopologyError(
-                    f"failed link {lid} is a NIC link; NIC faults are a "
-                    f"different model (dead node)")
-            if self.links.id_of(v, u) not in self.faults.failed_links:
-                raise TopologyError(
-                    f"failed link {lid} ({u}->{v}) without its reverse; "
-                    f"cables fail as whole duplex pairs")
-        if self.faults.failed_uplinks:
-            if not isinstance(self.base, NestedTopology):
-                raise TopologyError(
-                    "uplink-port faults only apply to hybrid topologies")
-            for e in self.faults.failed_uplinks:
-                s, local = divmod(e, self.base.plan.nodes)
-                if not (0 <= e < self.num_endpoints
-                        and local in self.base.plan.uplink_rank):
-                    raise TopologyError(
-                        f"endpoint {e} has no uplink port to fail")
+    # ------------------------------------------------------------ inspection
+    def disabled_link_mask(self) -> np.ndarray:
+        """Boolean per-link mask of links this fault set makes unusable.
+
+        Failed cables plus every endpoint<->switch link of a dead uplink
+        port; NIC links never appear.  The link-level ground truth of
+        :meth:`_walk_survives` — the transient engine uses it to find the
+        in-flight flows a fault event just cut, and the property tests use
+        it to assert candidate routes stay on surviving links.  Built
+        lazily once (O(links)); cached per wrapper.
+        """
+        if self._disabled_mask is None:
+            mask = np.zeros(self.links.num_links, dtype=bool)
+            if self.faults.failed_links:
+                mask[np.fromiter(self.faults.failed_links,
+                                 dtype=np.int64)] = True
+            dead = self.faults.failed_uplinks
+            if dead:
+                ep = self.num_endpoints
+                nic_base = ep + self.num_switches
+                srcs = self.links.sources
+                dsts = self.links.destinations
+                dead_arr = np.fromiter(dead, dtype=np.int64)
+                sw_src = (srcs >= ep) & (srcs < nic_base)
+                sw_dst = (dsts >= ep) & (dsts < nic_base)
+                mask |= (srcs < ep) & sw_dst & np.isin(srcs, dead_arr)
+                mask |= (dsts < ep) & sw_src & np.isin(dsts, dead_arr)
+            self._disabled_mask = mask
+        return self._disabled_mask
 
     # ---------------------------------------------------------------- routing
     def vertex_path(self, src: int, dst: int) -> list[int]:

@@ -9,8 +9,11 @@ from hypothesis import strategies as st
 
 from repro.engine import analyze, simulate
 from repro.errors import DegradedNetworkError, TopologyError
+from repro.routing import ROUTING_POLICIES
+from repro.routing.policy import adaptive_index, ecmp_index
 from repro.topology import (DegradedTopology, FaultSet, NestTree,
-                            TorusTopology, available, build, degrade)
+                            TorusTopology, available, build, degrade,
+                            validate_fault_ids)
 from repro.workloads import build as build_workload
 
 #: One buildable instance per registered topology family.
@@ -30,11 +33,11 @@ def built(family):
     return _built[family]
 
 
-def fault_set(family, cables, seed):
-    key = (family, cables, seed)
+def fault_set(family, cables, seed, uplinks=0):
+    key = (family, cables, seed, uplinks)
     if key not in _fault_sets:
         _fault_sets[key] = FaultSet.sample(built(family), cables=cables,
-                                           seed=seed)
+                                           uplinks=uplinks, seed=seed)
     return _fault_sets[key]
 
 
@@ -117,6 +120,121 @@ class TestWrapperConstruction:
         assert deg.subtorus_of(9) == topo.subtorus_of(9)
         assert deg.plan is topo.plan
         assert "degraded" in deg.describe()
+
+
+class TestFaultIdValidation:
+    """Fault ids are range-checked against the topology at wrap time.
+
+    A fault set sampled on one topology used to apply silently to another
+    (out-of-range ids simply never matched a route); now the mismatch is a
+    typed error naming the offending ids.
+    """
+
+    def test_unknown_link_ids_are_named(self):
+        topo = built("torus")
+        n = topo.links.num_links
+        with pytest.raises(TopologyError) as exc:
+            DegradedTopology(topo, FaultSet(frozenset({n + 5, n + 6})))
+        assert str(n + 5) in str(exc.value)
+        assert str(n + 6) in str(exc.value)
+        assert "different topology" in str(exc.value)
+
+    def test_fault_set_from_bigger_topology_rejected(self):
+        big = build("torus", 512)
+        small = built("torus")
+        fs = FaultSet.sample(big, cables=4, seed=0)
+        # at least one sampled id must exceed the small machine's table
+        # for this regression to bite; seed 0 at 512 endpoints does
+        assert max(fs.failed_links) >= small.links.num_links
+        with pytest.raises(TopologyError, match="unknown link id"):
+            DegradedTopology(small, fs)
+
+    def test_unknown_uplink_endpoints_are_named(self):
+        topo = built("nesttree")
+        bad = topo.num_endpoints + 17
+        with pytest.raises(TopologyError) as exc:
+            validate_fault_ids(topo, frozenset(), frozenset({bad}))
+        assert str(bad) in str(exc.value)
+        assert "unknown endpoint" in str(exc.value)
+
+    def test_portless_uplink_endpoints_are_named(self):
+        topo = built("nesttree")
+        # find an endpoint with no uplink port (u=2 on a 2^3 subtorus
+        # leaves local ranks without one)
+        portless = next(
+            e for e in range(topo.num_endpoints)
+            if (e % topo.plan.nodes) not in topo.plan.uplink_rank)
+        with pytest.raises(TopologyError, match="no uplink port"):
+            validate_fault_ids(topo, frozenset(), frozenset({portless}))
+
+    def test_negative_link_ids_rejected(self):
+        topo = built("torus")
+        with pytest.raises(TopologyError, match="unknown link id"):
+            validate_fault_ids(topo, frozenset({-1}), frozenset())
+
+    def test_valid_ids_pass(self):
+        topo = built("nesttree")
+        fs = fault_set("nesttree", 3, 0, uplinks=2)
+        validate_fault_ids(topo, fs.failed_links, fs.failed_uplinks)
+
+    def test_timeline_validation_names_foreign_ids(self):
+        from repro.topology import FaultTimeline
+
+        big = build("torus", 512)
+        small = built("torus")
+        tl = FaultTimeline.sample(big, cables=4, seed=0, horizon=1.0)
+        with pytest.raises(TopologyError, match="unknown link id"):
+            tl.validate(small)
+
+
+class TestCandidateFaultInteraction:
+    """Property: ``route_candidates`` on a degraded view never yields a
+    route crossing a failed link or a dead uplink port — across all 8
+    families and all three routing policies (the candidate-set API and
+    the fault model were built in different PRs; this pins their
+    composition)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(family=st.sampled_from(sorted(FAMILY_SIZES)),
+           seed=st.integers(0, 5), cables=st.integers(1, 5),
+           uplinks=st.integers(0, 3), draw=st.integers(0, 10_000),
+           policy=st.sampled_from(ROUTING_POLICIES))
+    def test_candidates_avoid_failed_components(self, family, seed, cables,
+                                                uplinks, draw, policy):
+        topo = built(family)
+        if not hasattr(topo, "plan"):
+            uplinks = 0  # uplink-port faults are a hybrid concept
+        deg = DegradedTopology(topo,
+                               fault_set(family, cables, seed, uplinks))
+        disabled = deg.disabled_link_mask()
+        n = topo.num_endpoints
+        src = draw % n
+        dst = (draw // n) % n
+        if src == dst:
+            dst = (dst + 1) % n
+        try:
+            cands = deg.route_candidates(src, dst)
+        except DegradedNetworkError as exc:
+            assert (src, dst) in exc.pairs
+            return
+        assert cands, "route_candidates returned an empty candidate set"
+        for route in cands:
+            arr = np.asarray(route, dtype=np.int64)
+            assert not disabled[arr].any(), (
+                f"{family} candidate for {src}->{dst} crosses a failed "
+                f"link/dead uplink under {policy}")
+            assert arr[0] == int(topo.injection_links[src])
+            assert arr[-1] == int(topo.consumption_links[dst])
+        # candidate 0 is the deterministic route; the policy selectors
+        # must index inside the candidate list
+        assert list(cands[0]) == list(deg.route(src, dst))
+        if policy == "ecmp":
+            assert 0 <= ecmp_index(draw, src, dst, len(cands)) < len(cands)
+        elif policy == "adaptive":
+            occupancy = np.zeros(topo.links.num_links, dtype=np.int64)
+            idx = adaptive_index([np.asarray(r, dtype=np.int64)
+                                  for r in cands], occupancy)
+            assert 0 <= idx < len(cands)
 
 
 class TestDegradedRouting:
