@@ -20,6 +20,7 @@ O(changed) fill.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import pytest
@@ -44,6 +45,34 @@ _WORKLOADS = ("allreduce", "unstructuredhr", "permutation")
 _HEADLINE_ENDPOINTS = 4096
 _HEADLINE_SPEEDUP = 2.0
 _HEADLINE_CELLS = ("allreduce", "unstructuredhr")
+
+
+#: Paper-scale cells (one QFDB-pair port per endpoint, Sec. 5 scale).
+#: Gated behind ``REPRO_BENCH_PAPER_SCALE=1`` — a single timed round of
+#: the incremental allocator only (the rebuild baseline would run for
+#: hours at this size, and its equivalence is already asserted at
+#: headline scale).
+_PAPER_ENDPOINTS = 131072
+_PAPER_CELLS = (("allreduce", "exact"), ("unstructuredhr", "approx"))
+
+
+def _record_path():
+    return RESULTS_DIR / "BENCH_engine.json"
+
+
+def _load_record() -> dict:
+    path = _record_path()
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def _write_record(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    _record_path().write_text(json.dumps(record, indent=2) + "\n")
 
 
 def _timed(topo, flows, route_cache, allocator):
@@ -121,7 +150,65 @@ def test_engine_allocator_speedup(benchmark):
         "rounds": _ROUNDS,
         "cells": cells,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_engine.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
-    assert out.exists()
+    # the paper-scale block is produced by its own (env-gated) run; a
+    # small-scale regeneration (e.g. CI at 64 endpoints) must not drop it
+    prior = _load_record().get("paper_scale")
+    if prior is not None and prior.get("endpoints", 0) > BENCH_ENDPOINTS:
+        record["paper_scale"] = prior
+    _write_record(record)
+    assert _record_path().exists()
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_paper_scale(benchmark):
+    """Time the incremental engine at the paper's 131,072-QFDB scale.
+
+    Updates only the record's ``paper_scale`` block (the headline cells
+    are the other test's); each cell is one timed end-to-end run —
+    topology build and route construction included, because at this size
+    they *are* part of the story.
+    """
+    if os.environ.get("REPRO_BENCH_PAPER_SCALE") != "1":
+        pytest.skip("set REPRO_BENCH_PAPER_SCALE=1 to run the "
+                    f"{_PAPER_ENDPOINTS:,}-endpoint cells")
+
+    def run():
+        build_t0 = time.perf_counter()
+        topo = build_topology("nesttree", _PAPER_ENDPOINTS, t=2, u=4)
+        build_s = time.perf_counter() - build_t0
+        route_cache: dict = {}
+        cells = {}
+        for name, fidelity in _PAPER_CELLS:
+            flows = build_workload(name, _PAPER_ENDPOINTS, seed=0).build()
+            t0 = time.perf_counter()
+            result = simulate(topo, flows, fidelity=fidelity,
+                              route_cache=route_cache)
+            wall = time.perf_counter() - t0
+            cells[name] = {
+                "fidelity": fidelity,
+                "allocator": "incremental",
+                "wall_seconds": wall,
+                "makespan_s": result.makespan,
+                "events": result.events,
+                "reallocations": result.reallocations,
+                "flows": result.num_flows,
+                "full_passes": result.allocator_stats["full_passes"],
+                "warm_fills": result.allocator_stats["warm_fills"],
+            }
+        return build_s, cells
+
+    build_s, cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, cell in cells.items():
+        assert cell["events"] > 0 and cell["flows"] > _PAPER_ENDPOINTS, name
+
+    record = _load_record()
+    if not record:  # paper-scale run on a fresh checkout
+        record = {"bench": "engine", "schema": "repro-bench-engine-v1",
+                  "cells": {}}
+    record["paper_scale"] = {
+        "endpoints": _PAPER_ENDPOINTS,
+        "topology": "nesttree(2,4)",
+        "build_seconds": build_s,
+        "cells": cells,
+    }
+    _write_record(record)

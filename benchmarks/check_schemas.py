@@ -1,0 +1,138 @@
+"""Validate every committed benchmark record in one pass.
+
+CI used to carry one copy-pasted heredoc per ``BENCH_*.json`` file; a
+bench that gained a file silently gained *no* validation.  This script
+globs ``benchmarks/results/BENCH_*.json``, dispatches each file to its
+registered validator, and **fails on any BENCH file without one** — so
+adding a bench record means registering its schema here, in the same PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_schemas.py
+
+The layout contract (documented in EXPERIMENTS.md): every machine-
+readable bench record lives at ``benchmarks/results/BENCH_<name>.json``,
+carries a ``schema`` field of the form ``repro-bench-<name>-v<N>``
+(legacy records without one are pinned per-validator), and is
+regenerated — never hand-edited — by ``benchmarks/bench_<name>.py``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def check_engine(doc: dict) -> str:
+    assert doc["schema"] == "repro-bench-engine-v1", doc.get("schema")
+    assert doc["fidelity"] == "exact"
+    cells = doc["cells"]
+    assert set(cells) >= {"allreduce", "unstructuredhr", "permutation"}
+    for name, cell in cells.items():
+        for field in ("rebuild_seconds", "incremental_seconds", "speedup",
+                      "makespan_s", "events", "full_passes", "warm_fills"):
+            assert field in cell, (name, field)
+        assert cell["speedup"] > 0 and cell["events"] > 0, name
+    detail = f"{len(cells)} cells"
+    paper = doc.get("paper_scale")
+    if paper is not None:
+        assert paper["endpoints"] >= 65536, paper["endpoints"]
+        assert paper["cells"], "paper_scale block has no cells"
+        for name, cell in paper["cells"].items():
+            for field in ("fidelity", "allocator", "wall_seconds",
+                          "makespan_s", "events", "flows"):
+                assert field in cell, (name, field)
+            assert cell["flows"] > paper["endpoints"], name
+        detail += (f" + paper_scale@{paper['endpoints']} "
+                   f"({', '.join(sorted(paper['cells']))})")
+    return detail
+
+
+def check_routing(doc: dict) -> str:
+    assert doc["schema"] == "repro-bench-routing-v1", doc.get("schema")
+    assert doc["policies"] == ["deterministic", "ecmp", "adaptive"]
+    cells = doc["cells"]
+    assert set(cells) == {"allreduce", "unstructuredhr"}, set(cells)
+    for name, policies in cells.items():
+        for policy, cell in policies.items():
+            for field in ("makespan_s", "events", "wall_seconds",
+                          "tier_peak_utilisation", "tier_spread"):
+                assert field in cell, (name, policy, field)
+            assert "uplinks" in cell["tier_spread"], (name, policy)
+    return f"topology {doc['topology']}"
+
+
+def check_resilience(doc: dict) -> str:
+    assert doc["schema"] == "repro-bench-resilience-v1", doc.get("schema")
+    cells = doc["cells"]
+    assert set(cells) == {"healthy", "empty_timeline", "transient"}
+    for name, cell in cells.items():
+        for field in ("makespan_s", "events", "wall_seconds"):
+            assert field in cell, (name, field)
+    assert cells["empty_timeline"]["makespan_s"] == \
+        cells["healthy"]["makespan_s"]
+    counters = cells["transient"]["counters"]
+    for field in ("fault_events", "flows_rerouted", "flows_parked",
+                  "flows_recovered", "rerouted_bits", "recovery_seconds"):
+        assert field in counters, field
+    assert counters["fault_events"] > 0
+    return f"{doc['cables']} cables on {doc['topology']}"
+
+
+def check_observability(doc: dict) -> str:
+    # legacy record: predates the schema field
+    assert doc.get("bench", "observability") == "observability"
+    for field in ("endpoints", "workload", "topology", "fidelity",
+                  "metrics_off_seconds", "metrics_on_seconds"):
+        assert field in doc, field
+    assert doc["metrics_on_seconds"] > 0
+    return f"{doc['workload']} @ {doc['endpoints']}"
+
+
+#: BENCH_<name>.json -> validator.  A record file without an entry here
+#: fails the run — register the schema when adding the bench.
+VALIDATORS = {
+    "BENCH_engine.json": check_engine,
+    "BENCH_routing.json": check_routing,
+    "BENCH_resilience.json": check_resilience,
+    "BENCH_observability.json": check_observability,
+}
+
+
+def main() -> int:
+    paths = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+    if not paths:
+        print(f"no BENCH_*.json records under {RESULTS_DIR}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        name = os.path.basename(path)
+        validator = VALIDATORS.get(name)
+        if validator is None:
+            print(f"FAIL {name}: no registered validator "
+                  "(register it in benchmarks/check_schemas.py)")
+            failures += 1
+            continue
+        try:
+            detail = validator(json.loads(open(path).read()))
+        except Exception as exc:
+            print(f"FAIL {name}: {type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {name}: {detail}")
+    if failures:
+        print(f"{failures} of {len(paths)} bench records failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"validated {len(paths)} bench records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.maxmin import _COUNT_TOL, _SAT_TOL, _slices_concat
+from repro.engine import kernels as kernels_mod
+from repro.engine.maxmin import _SAT_TOL, _slices_concat
 from repro.errors import SimulationError
 
 #: Initial slot capacity (grown geometrically).
@@ -76,8 +77,12 @@ class ActiveSet:
 
     def __init__(self, capacities: np.ndarray, *,
                  weighted: bool = False,
-                 track_occupancy: bool = False) -> None:
+                 track_occupancy: bool = False,
+                 kernels: str | None = None) -> None:
         self.capacities = np.asarray(capacities, dtype=np.float64)
+        #: Fill-kernel backend (see :mod:`repro.engine.kernels`); ``None``
+        #: resolves the session default (forced > REPRO_KERNELS > auto).
+        self.kernels = kernels_mod.get(kernels)
         num_links = self.capacities.shape[0]
         self._weighted = bool(weighted)
         #: Per-link live-flow counts, maintained across add/remove when
@@ -138,6 +143,7 @@ class ActiveSet:
         # the last full pass (+inf = never), and the links that were set
         self._levels = np.full(num_links, np.inf, dtype=np.float64)
         self._level_links = np.empty(0, dtype=np.int64)
+        self._level_buf = np.empty(0, dtype=np.int64)
         self._have_levels = False
 
         # membership churn since the last allocation, as append-only key
@@ -225,12 +231,15 @@ class ActiveSet:
         self._pending_new.append(fid)
 
     def add_many(self, fids: np.ndarray, routes: list[np.ndarray], *,
-                 weights: np.ndarray | None = None) -> None:
+                 weights: np.ndarray | None = None,
+                 rates: np.ndarray | None = None) -> None:
         """Admit a batch of flows in one vectorised pass.
 
         Equivalent to calling :meth:`add` per flow in order, but the slot
         arrays, the entries pool and the churn log are updated in bulk
-        instead of per flow.
+        instead of per flow.  ``rates`` seeds each flow's allocation (the
+        approx-fidelity engine inherits a predecessor's last rate at
+        release); flows start at ``0.0`` until the next fill otherwise.
         """
         k = len(routes)
         if k == 0:
@@ -266,7 +275,7 @@ class ActiveSet:
         starts += start0
         sl = slice(m, m + k)
         self._flow_ids[sl] = fids
-        self._rates[sl] = 0.0
+        self._rates[sl] = 0.0 if rates is None else rates
         self._weights[sl] = 1.0 if weights is None else weights
         self._starts[sl] = starts
         self._lens[sl] = lens
@@ -473,20 +482,18 @@ class ActiveSet:
 
     def _warm_fill(self) -> bool:
         """Rate the flows added since the last allocation from the
-        recorded water levels; ``False`` falls back to a full pass."""
-        levels = self._levels
-        slot_arr = self._slot_arr
-        for fid in self._pending_new:
-            slot = int(slot_arr[fid])
-            if slot < 0:
-                continue  # added and already retired (zero-length life)
-            route = self._routes[slot]
-            assert route is not None
-            rate = float(levels[route].min())
-            if not np.isfinite(rate) or rate <= 0.0:
-                return False
-            self._rates[slot] = rate
-        return True
+        recorded water levels; ``False`` falls back to a full pass.
+
+        The segmented minimum runs through the selected fill-kernel
+        backend (:mod:`repro.engine.kernels`); both backends read the
+        pooled route copies, which hold the same link ids as the interned
+        route arrays."""
+        if not self._pending_new:
+            return True
+        pending = np.asarray(self._pending_new, dtype=np.int64)
+        return bool(self.kernels.warm_fill(
+            self._levels, self._entries, self._starts, self._lens,
+            self._slot_arr, pending, self._rates))
 
     def _csr_rebuild(self, weights: np.ndarray | None,
                      slack: bool) -> None:
@@ -561,18 +568,15 @@ class ActiveSet:
         iteration count does not multiply it — and when the CSR survived
         the event's membership patches, the pass skips the O(nnz)
         gather/sort/occupancy setup entirely.
+
+        The water-level loop itself runs through the selected fill-kernel
+        backend (:mod:`repro.engine.kernels`): the pure-NumPy reference,
+        or its numba-compiled mirror when the ``[fast]`` extra is
+        installed — both bitwise-identical by construction and by the
+        ``kernel_diff`` test suite.
         """
         m = self._m
         counts = self._counts
-        cap_rem = self._cap_rem
-        sat_floor = self._sat_floor
-        levels = self._levels
-        frozen = self._slot_flag  # borrowed scratch, reset on exit
-        rates = self._rates
-        starts = self._starts
-        lens = self._lens
-        entries = self._entries
-        slot_arr = self._slot_arr
         weights = self._weights[:m] if self._weighted else None
 
         if self._csr_ok and self._csr_dead * 4 <= self._live_nnz:
@@ -582,91 +586,32 @@ class ActiveSet:
                 weights,
                 slack=self._churn_units <= max(_PATCH_MAX, m >> 3))
         self._churn_units = 0
-        cstart = self._csr_start
-        clen = self._csr_len
-        cflows = self._csr_flows
 
         act = np.flatnonzero(counts > 0)
         if not self._caps_all_positive and \
                 bool((self.capacities[act] <= 0).any()):
             raise SimulationError("active flow crosses a zero-capacity link")
-        cap_rem[act] = self.capacities[act]
-        levels[self._level_links] = np.inf
-        level_links: list[np.ndarray] = []
+        self._cap_rem[act] = self.capacities[act]
+        self._levels[self._level_links] = np.inf
+        if self._level_buf.shape[0] < act.shape[0]:
+            self._level_buf = np.empty(act.shape[0], dtype=np.int64)
 
-        level = 0.0
-        remaining = m
-        iterations = 0
+        frozen = self._slot_flag  # borrowed scratch, reset on exit
         try:
-            for _ in range(act.shape[0] + 1):
-                if remaining == 0:
-                    break
-                if act.shape[0] == 0:
-                    raise SimulationError(
-                        "allocation left flows without a bottleneck")
-                iterations += 1
-                cr = cap_rem[act]
-                cn = counts[act]
-                delta = float((cr / cn).min())
-                level += delta
-                cr = cr - delta * cn
-                cap_rem[act] = cr
-                sf = sat_floor[act]
-                sat_local = cr <= sf
-                if not sat_local.any():
-                    # numerically the minimum itself must have saturated
-                    sat_local = cr <= cr.min() + sf
-                sat_links = act[sat_local]
-                levels[sat_links] = level
-                level_links.append(sat_links)
-
-                # freeze every unfrozen flow crossing a saturated link:
-                # the CSR rows of the saturated links name exactly the
-                # candidates (as flow ids; -1 marks a tombstoned entry),
-                # so no scan over the live entries is needed
-                if sat_links.shape[0] == 1:
-                    link = sat_links[0]
-                    cand = cflows[cstart[link]:cstart[link] + clen[link]]
-                else:
-                    cand = cflows[_slices_concat(
-                        cstart[sat_links], cstart[sat_links] + clen[sat_links])]
-                cand = np.unique(cand)
-                if cand.shape[0] and cand[0] < 0:
-                    cand = cand[1:]
-                cslots = slot_arr[cand]
-                new = cslots[~frozen[cslots]]
-                if new.shape[0]:
-                    frozen[new] = True
-                    if weights is None:
-                        rates[new] = level
-                    else:
-                        rates[new] = weights[new] * level
-                    remaining -= new.shape[0]
-                    # drop the frozen flows' presence from link occupancy
-                    if new.shape[0] == 1:
-                        s = starts[new[0]]
-                        touched = entries[s:s + lens[new[0]]]
-                    else:
-                        touched = entries[_slices_concat(
-                            starts[new], starts[new] + lens[new])]
-                    if weights is None:
-                        np.subtract.at(counts, touched, 1.0)
-                    else:
-                        np.subtract.at(counts, touched,
-                                       np.repeat(weights[new], lens[new]))
-                keep = ~sat_local
-                keep &= counts[act] > _COUNT_TOL
-                act = act[keep]
-            else:  # pragma: no cover - progressive filling terminates
-                raise SimulationError(
-                    "progressive filling failed to converge")
+            status, iterations, nsat = self.kernels.full_fill(
+                self.capacities, self._sat_floor, self._cap_rem, counts,
+                self._levels, self._csr_start, self._csr_len,
+                self._csr_flows, self._entries, self._starts, self._lens,
+                self._slot_arr, self._rates, frozen, self._weights,
+                self._weighted, m, act, self._level_buf)
         finally:
             frozen[:m] = False
 
-        if remaining:
+        if status == 1:
             raise SimulationError("allocation left flows without a bottleneck")
-        self._level_links = np.concatenate(level_links) if level_links \
-            else np.empty(0, dtype=np.int64)
+        if status == 2:  # pragma: no cover - progressive filling terminates
+            raise SimulationError("progressive filling failed to converge")
+        self._level_links = self._level_buf[:nsat].copy()
         self._have_levels = not self._weighted
         return iterations
 

@@ -1,0 +1,181 @@
+"""Numba-compiled fill kernels (the optional ``[fast]`` extra).
+
+Importable only when ``numba`` is installed (``pip install repro[fast]``);
+:data:`AVAILABLE` is ``False`` otherwise and the dispatcher falls back to
+:mod:`repro.engine.kernels.numpy_fill`.  The kernels follow the numpy
+backend's contract exactly — see that module's docstring — and mirror its
+floating-point operation *order* op for op:
+
+* the water-level ``delta`` is a plain minimum over ``cap_rem/counts``
+  (minimum is exact, so reduction order is irrelevant);
+* residual capacity updates round twice (``delta * counts`` then the
+  subtraction), like the two NumPy ufunc calls they replace;
+* candidate flows freeze in ascending-flow-id order (the numpy backend's
+  ``np.unique``) and their occupancy decrements apply in that same order
+  (its ``np.subtract.at``), so weighted float accumulation in ``counts``
+  is bitwise-reproducible too.
+
+The differential-test suite (``pytest -m kernel_diff``) asserts bitwise
+identity against the numpy backend whenever this module is available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.maxmin import _COUNT_TOL
+
+NAME = "numba"
+
+try:
+    from numba import njit
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised only without [fast]
+    AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        raise ImportError("numba is not installed")
+
+
+if AVAILABLE:
+    @njit(cache=True)
+    def _full_fill(capacities, sat_floor, cap_rem, counts, levels,
+                   csr_start, csr_len, csr_flows,
+                   entries, starts, lens, slot_arr,
+                   rates, frozen, weights, weighted, m, act,
+                   level_links_out):  # pragma: no cover - needs [fast]
+        inf = np.inf
+        n_act = act.shape[0]
+        act_w = act.copy()
+        sat_flags = np.empty(n_act, dtype=np.bool_)
+        level = 0.0
+        remaining = m
+        iterations = 0
+        nsat = 0
+        for _ in range(n_act + 1):
+            if remaining == 0:
+                return 0, iterations, nsat
+            if n_act == 0:
+                return 1, iterations, nsat
+            iterations += 1
+            delta = inf
+            for i in range(n_act):
+                v = cap_rem[act_w[i]] / counts[act_w[i]]
+                if v < delta:
+                    delta = v
+            level += delta
+            for i in range(n_act):
+                link = act_w[i]
+                cap_rem[link] = cap_rem[link] - delta * counts[link]
+            any_sat = False
+            for i in range(n_act):
+                link = act_w[i]
+                if cap_rem[link] <= sat_floor[link]:
+                    any_sat = True
+                    break
+            floor_add = 0.0
+            if not any_sat:
+                # numerically the minimum itself must have saturated
+                crmin = inf
+                for i in range(n_act):
+                    if cap_rem[act_w[i]] < crmin:
+                        crmin = cap_rem[act_w[i]]
+                floor_add = crmin
+            cand_total = 0
+            for i in range(n_act):
+                link = act_w[i]
+                sat = cap_rem[link] <= floor_add + sat_floor[link] \
+                    if not any_sat else cap_rem[link] <= sat_floor[link]
+                sat_flags[i] = sat
+                if sat:
+                    levels[link] = level
+                    level_links_out[nsat] = link
+                    nsat += 1
+                    cand_total += csr_len[link]
+
+            # gather the saturated links' CSR rows, sort, and freeze each
+            # distinct flow id in ascending order (== np.unique order)
+            cand = np.empty(cand_total, dtype=np.int64)
+            pos = 0
+            for i in range(n_act):
+                if not sat_flags[i]:
+                    continue
+                link = act_w[i]
+                row_start = csr_start[link]
+                for j in range(csr_len[link]):
+                    cand[pos] = csr_flows[row_start + j]
+                    pos += 1
+            cand.sort()
+            prev = np.int64(-1)
+            first = True
+            for i in range(cand_total):
+                fid = cand[i]
+                if fid < 0 or (not first and fid == prev):
+                    continue
+                prev = fid
+                first = False
+                slot = slot_arr[fid]
+                if frozen[slot]:
+                    continue
+                frozen[slot] = True
+                if not weighted:
+                    rates[slot] = level
+                else:
+                    rates[slot] = weights[slot] * level
+                remaining -= 1
+                s = starts[slot]
+                if not weighted:
+                    for j in range(lens[slot]):
+                        counts[entries[s + j]] -= 1.0
+                else:
+                    w = weights[slot]
+                    for j in range(lens[slot]):
+                        counts[entries[s + j]] -= w
+
+            keep_n = 0
+            for i in range(n_act):
+                link = act_w[i]
+                if (not sat_flags[i]) and counts[link] > _COUNT_TOL:
+                    act_w[keep_n] = link
+                    keep_n += 1
+            n_act = keep_n
+        if remaining == 0:
+            return 0, iterations, nsat
+        return 2, iterations, nsat
+
+    @njit(cache=True)
+    def _warm_fill(levels, entries, starts, lens, slot_arr, pending,
+                   rates):  # pragma: no cover - needs [fast]
+        inf = np.inf
+        for k in range(pending.shape[0]):
+            slot = slot_arr[pending[k]]
+            if slot < 0:
+                continue  # added and already retired (zero-length life)
+            s = starts[slot]
+            r = inf
+            for j in range(lens[slot]):
+                v = levels[entries[s + j]]
+                if v < r:
+                    r = v
+            # rejects +inf (never-saturated link), NaN and non-positive
+            # levels, matching the numpy backend's isfinite/<=0 gate
+            if not (0.0 < r < inf):
+                return False
+            rates[slot] = r
+        return True
+
+    def full_fill(capacities, sat_floor, cap_rem, counts, levels,
+                  csr_start, csr_len, csr_flows,
+                  entries, starts, lens, slot_arr,
+                  rates, frozen, weights, weighted, m, act,
+                  level_links_out):  # pragma: no cover - needs [fast]
+        return _full_fill(capacities, sat_floor, cap_rem, counts, levels,
+                          csr_start, csr_len, csr_flows,
+                          entries, starts, lens, slot_arr,
+                          rates, frozen, weights, bool(weighted),
+                          np.int64(m), act, level_links_out)
+
+    def warm_fill(levels, entries, starts, lens, slot_arr, pending,
+                  rates):  # pragma: no cover - needs [fast]
+        return _warm_fill(levels, entries, starts, lens, slot_arr,
+                          pending, rates)

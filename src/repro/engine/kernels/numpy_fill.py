@@ -1,0 +1,154 @@
+"""Pure-NumPy fill kernels — the reference backend.
+
+These two functions are the allocation hot spots of
+:class:`~repro.engine.active.ActiveSet`, extracted behind a narrow array
+contract so a compiled backend (:mod:`repro.engine.kernels.numba_fill`)
+can replace them kernel-for-kernel.  The bodies are the PR 5 loops moved
+verbatim; every other backend is differential-tested against this one for
+bitwise-identical rates, water levels, iteration counts and saturated-link
+sequences (``pytest -m kernel_diff``).
+
+Contract
+--------
+``full_fill`` runs the progressive-filling water-level loop over the
+caller-prepared link→flows CSR.  The caller has already:
+
+* rebuilt or patched the CSR (``csr_start``/``csr_len``/``csr_flows``,
+  where a ``-1`` flow id marks a tombstoned entry),
+* loaded per-link occupancy into ``counts`` and reset
+  ``cap_rem[act] = capacities[act]`` for the active links ``act``
+  (``counts > 0``, ascending),
+* reset ``levels`` to ``+inf`` on the previously saturated links,
+* zeroed the first ``m`` entries of the ``frozen`` scratch (the caller
+  also re-zeroes them afterwards, error or not).
+
+The kernel mutates ``cap_rem``, ``counts``, ``levels``, ``rates`` and
+``frozen`` in place, appends each saturated link id to
+``level_links_out`` (caller-sized to at least ``act.shape[0]``), and
+returns ``(status, iterations, nsat)`` where status ``0`` is success,
+``1`` means flows were left without a bottleneck and ``2`` means the loop
+failed to converge — raising stays with the caller so compiled backends
+never need exception objects.
+
+``warm_fill`` replays recorded water levels over the flows added since
+the last allocation (``pending`` flow ids; ids whose slot is ``-1`` were
+retired again before this allocation and are skipped).  It writes each
+flow's rate — the minimum recorded level along its pooled route — and
+returns ``False`` (caller falls back to a full pass) if any level is
+non-finite or non-positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.maxmin import _COUNT_TOL, _slices_concat
+
+NAME = "numpy"
+
+
+def full_fill(capacities: np.ndarray, sat_floor: np.ndarray,
+              cap_rem: np.ndarray, counts: np.ndarray, levels: np.ndarray,
+              csr_start: np.ndarray, csr_len: np.ndarray,
+              csr_flows: np.ndarray,
+              entries: np.ndarray, starts: np.ndarray, lens: np.ndarray,
+              slot_arr: np.ndarray,
+              rates: np.ndarray, frozen: np.ndarray, weights: np.ndarray,
+              weighted: bool, m: int, act: np.ndarray,
+              level_links_out: np.ndarray) -> tuple[int, int, int]:
+    """Progressive filling over a prepared CSR (see module docstring)."""
+    level = 0.0
+    remaining = m
+    iterations = 0
+    nsat = 0
+    for _ in range(act.shape[0] + 1):
+        if remaining == 0:
+            return 0, iterations, nsat
+        if act.shape[0] == 0:
+            return 1, iterations, nsat
+        iterations += 1
+        cr = cap_rem[act]
+        cn = counts[act]
+        delta = float((cr / cn).min())
+        level += delta
+        cr = cr - delta * cn
+        cap_rem[act] = cr
+        sf = sat_floor[act]
+        sat_local = cr <= sf
+        if not sat_local.any():
+            # numerically the minimum itself must have saturated
+            sat_local = cr <= cr.min() + sf
+        sat_links = act[sat_local]
+        levels[sat_links] = level
+        level_links_out[nsat:nsat + sat_links.shape[0]] = sat_links
+        nsat += sat_links.shape[0]
+
+        # freeze every unfrozen flow crossing a saturated link: the CSR
+        # rows of the saturated links name exactly the candidates (as
+        # flow ids; -1 marks a tombstoned entry), so no scan over the
+        # live entries is needed
+        if sat_links.shape[0] == 1:
+            link = sat_links[0]
+            cand = csr_flows[csr_start[link]:csr_start[link]
+                             + csr_len[link]]
+        else:
+            cand = csr_flows[_slices_concat(
+                csr_start[sat_links],
+                csr_start[sat_links] + csr_len[sat_links])]
+        cand = np.unique(cand)
+        if cand.shape[0] and cand[0] < 0:
+            cand = cand[1:]
+        cslots = slot_arr[cand]
+        new = cslots[~frozen[cslots]]
+        if new.shape[0]:
+            frozen[new] = True
+            if not weighted:
+                rates[new] = level
+            else:
+                rates[new] = weights[new] * level
+            remaining -= new.shape[0]
+            # drop the frozen flows' presence from link occupancy
+            if new.shape[0] == 1:
+                s = starts[new[0]]
+                touched = entries[s:s + lens[new[0]]]
+            else:
+                touched = entries[_slices_concat(
+                    starts[new], starts[new] + lens[new])]
+            if not weighted:
+                np.subtract.at(counts, touched, 1.0)
+            else:
+                np.subtract.at(counts, touched,
+                               np.repeat(weights[new], lens[new]))
+        keep = ~sat_local
+        keep &= counts[act] > _COUNT_TOL
+        act = act[keep]
+    if remaining == 0:  # pragma: no cover - loop always breaks earlier
+        return 0, iterations, nsat
+    return 2, iterations, nsat  # pragma: no cover - filling terminates
+
+
+def warm_fill(levels: np.ndarray, entries: np.ndarray, starts: np.ndarray,
+              lens: np.ndarray, slot_arr: np.ndarray, pending: np.ndarray,
+              rates: np.ndarray) -> bool:
+    """Rate the pending flows from recorded per-link water levels.
+
+    Vectorised over all pending flows at once (one gather plus a
+    segmented minimum); a segment minimum is an exact operation, so the
+    written rates are bitwise those of a per-flow ``levels[route].min()``
+    loop.
+    """
+    slots = slot_arr[pending]
+    slots = slots[slots >= 0]  # added and already retired (zero-length life)
+    if slots.shape[0] == 0:
+        return True
+    seg_starts = starts[slots]
+    seg_lens = lens[slots]
+    vals = levels[entries[_slices_concat(seg_starts,
+                                         seg_starts + seg_lens)]]
+    offsets = np.zeros(slots.shape[0], dtype=np.int64)
+    np.cumsum(seg_lens[:-1], out=offsets[1:])
+    mins = np.minimum.reduceat(vals, offsets)
+    if not np.isfinite(mins).all() or bool((mins <= 0.0).any()):
+        return False
+    rates[slots] = mins
+    return True

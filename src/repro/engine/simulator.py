@@ -32,6 +32,7 @@ incremental allocator is exact, see ``docs/simulation-model.md``).
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING
 
@@ -56,6 +57,21 @@ _TIE_EPS = 1e-9
 
 #: Active-set churn fraction that forces a re-allocation in approx mode.
 CHURN_FRACTION = 0.05
+
+
+def _batching_enabled() -> bool:
+    """Whether completion batches process through the vectorised path.
+
+    ``REPRO_EVENT_BATCH=0`` forces the historical per-flow completion
+    walk (release one flow at a time, per-flow ActiveSet calls) in both
+    the healthy and the transient engines.  The batched path is bitwise-
+    equivalent — the equivalence regression suite
+    (``tests/test_batched_loop.py``) runs every workload under both
+    settings and asserts identical results — so the knob exists for that
+    suite and for bisecting, not for tuning.
+    """
+    return os.environ.get("REPRO_EVENT_BATCH", "1").strip().lower() \
+        not in ("0", "off", "false")
 
 _FIDELITIES = ("exact", "approx")
 
@@ -251,6 +267,10 @@ def simulate(topology: Topology, flows: FlowSet, *,
     weight_arr = flows.weight
 
     adaptive = routing == "adaptive"
+    # per-flow completion walk: required for adaptive (each release must
+    # see the occupancy its predecessors left), forced by the equivalence
+    # suite via REPRO_EVENT_BATCH=0 otherwise
+    per_flow = adaptive or not _batching_enabled()
     active = ActiveSet(capacities, weighted=weighted,
                        track_occupancy=adaptive)
 
@@ -352,6 +372,58 @@ def simulate(topology: Topology, flows: FlowSet, *,
             return 0
         return admit_batch(ready, t)
 
+    def release_inherit(done_ids: np.ndarray, done_rates: np.ndarray,
+                        t: float) -> int:
+        """Retire an approx-mode completion batch and release successors.
+
+        Approx mode seeds each released flow with the rate of the
+        predecessor whose decrement drove its indegree to zero — in the
+        per-flow walk, the *last* occurrence of that successor across the
+        batch's concatenated successor lists.  This vectorised path
+        reproduces that pairing (stable sort, last occurrence per unique
+        successor) and admits the released flows in the same trigger
+        order, so the inherited rates are bitwise those of the walk.
+        Zero-hop successors complete instantly and cascade decrements
+        that interleave with the batch's own, so their presence falls
+        back to the sequential walk.  Returns the number of flows
+        admitted to the network.
+        """
+        completion[done_ids] = t
+        active.remove_many(done_ids)
+        succs = succ_indices[_slices_concat(succ_indptr[done_ids],
+                                            succ_indptr[done_ids + 1])]
+        if succs.shape[0] == 0:
+            return 0
+        rep_rates = np.repeat(done_rates,
+                              succ_indptr[done_ids + 1]
+                              - succ_indptr[done_ids])
+        if bool((src_ep[succs] == dst_ep[succs]).any()):
+            released = 0
+            for f, r in zip(succs.tolist(), rep_rates.tolist()):
+                indegree[f] -= 1
+                if indegree[f] == 0:
+                    released += inject(f, t, r)
+            return released
+        uniq, cnt = np.unique(succs, return_counts=True)
+        indegree[uniq] -= cnt
+        ready_mask = indegree[uniq] == 0
+        if not ready_mask.any():
+            return 0
+        order = np.argsort(succs, kind="stable")
+        last_pos = order[np.cumsum(cnt) - 1]   # per unique: last occurrence
+        trig = last_pos[ready_mask]
+        seq = np.argsort(trig, kind="stable")  # back to trigger order
+        ready = uniq[ready_mask][seq]
+        inherit = rep_rates[trig[seq]]
+        start[ready] = t
+        route_list = [route_of(f) for f in ready.tolist()]
+        active.add_many(ready, route_list, rates=inherit,
+                        weights=weight_arr[ready] if weighted else None)
+        if collector is not None:
+            for f, r in zip(ready.tolist(), route_list):
+                collector.flow_injected(float(flows.size[f]), r.shape[0])
+        return ready.shape[0]
+
     roots = flows.roots()
     if roots.shape[0] == 0:
         raise SimulationError("no injectable flows: dependency graph has no roots")
@@ -422,7 +494,7 @@ def simulate(topology: Topology, flows: FlowSet, *,
             completion[done_ids] = now
             active.remove_many(done_ids)
             released = release_batch(done_ids, now)
-        else:
+        elif per_flow:
             for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
                 completion[fid] = now
                 active.remove(fid)
@@ -431,6 +503,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
                     if indegree[succ] == 0:
                         # rate is inherited by the release (approx mode)
                         released += inject(succ, now, rate)
+        else:
+            released = release_inherit(done_ids, done_rates, now)
         completed_count += int(done_mask.sum())
         events += 1
         if events > max_events:

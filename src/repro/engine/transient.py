@@ -50,7 +50,8 @@ from repro.engine.active import ActiveSet
 from repro.engine.flows import FlowSet
 from repro.engine.maxmin import _slices_concat
 from repro.engine.results import SimulationResult
-from repro.engine.simulator import _TIE_EPS, CHURN_FRACTION, _make_route_fn
+from repro.engine.simulator import (_TIE_EPS, CHURN_FRACTION,
+                                    _batching_enabled, _make_route_fn)
 from repro.errors import DegradedNetworkError, SimulationError
 from repro.topology.base import Topology
 from repro.topology.degraded import DegradedTopology
@@ -89,6 +90,9 @@ def simulate_transient(topology: Topology, flows: FlowSet,
     weight_arr = flows.weight
 
     adaptive = routing == "adaptive"
+    # per-flow completion/recovery walk (see the healthy engine): required
+    # for adaptive, forced by REPRO_EVENT_BATCH=0 otherwise
+    per_flow = adaptive or not _batching_enabled()
     active = ActiveSet(capacities, weighted=weighted,
                        track_occupancy=adaptive)
     occ_fn = (lambda: active.occupancy) if adaptive else None
@@ -218,6 +222,67 @@ def simulate_transient(topology: Topology, flows: FlowSet,
             return 0
         return admit_batch(ready, t)
 
+    def release_inherit(done_ids: np.ndarray, done_rates: np.ndarray,
+                        t: float) -> int:
+        """Batched approx-mode release (the healthy engine's twin).
+
+        Same last-trigger rate inheritance and trigger-order admission as
+        :func:`repro.engine.simulator._simulate_incremental`'s helper,
+        with one transient twist: a released flow whose pair the current
+        epoch disconnects parks instead of entering the network.
+        """
+        completion[done_ids] = t
+        active.remove_many(done_ids)
+        succs = succ_indices[_slices_concat(succ_indptr[done_ids],
+                                            succ_indptr[done_ids + 1])]
+        if succs.shape[0] == 0:
+            return 0
+        rep_rates = np.repeat(done_rates,
+                              succ_indptr[done_ids + 1]
+                              - succ_indptr[done_ids])
+        if bool((src_ep[succs] == dst_ep[succs]).any()):
+            # zero-hop successors cascade instantly; fall back to the
+            # sequential walk
+            released = 0
+            for f, r in zip(succs.tolist(), rep_rates.tolist()):
+                indegree[f] -= 1
+                if indegree[f] == 0:
+                    released += inject(f, t, r)
+            return released
+        uniq, cnt = np.unique(succs, return_counts=True)
+        indegree[uniq] -= cnt
+        ready_mask = indegree[uniq] == 0
+        if not ready_mask.any():
+            return 0
+        order = np.argsort(succs, kind="stable")
+        last_pos = order[np.cumsum(cnt) - 1]   # per unique: last occurrence
+        trig = last_pos[ready_mask]
+        seq = np.argsort(trig, kind="stable")  # back to trigger order
+        ready = uniq[ready_mask][seq]
+        inherit = rep_rates[trig[seq]]
+        fids: list[int] = []
+        route_list: list[np.ndarray] = []
+        rate_list: list[float] = []
+        for f, r in zip(ready.tolist(), inherit.tolist()):
+            start[f] = t
+            route = route_or_park(f, t)
+            if route is None:
+                continue  # parked until a repair reconnects the pair
+            fids.append(f)
+            route_list.append(route)
+            rate_list.append(r)
+        if not fids:
+            return 0
+        fid_arr = np.asarray(fids, dtype=np.int64)
+        active.add_many(fid_arr, route_list,
+                        rates=np.asarray(rate_list),
+                        weights=weight_arr[fid_arr] if weighted else None)
+        if collector is not None:
+            for f, route in zip(fids, route_list):
+                collector.flow_injected(float(flows.size[f]),
+                                        route.shape[0])
+        return len(fids)
+
     def apply_epoch(t: float) -> None:
         """Advance to the next epoch and recover the flows it cuts."""
         nonlocal epoch_idx, current, route_of, next_change
@@ -238,30 +303,62 @@ def simulate_transient(topology: Topology, flows: FlowSet,
                 f for f, route in zip(active.flow_ids.tolist(),
                                       active.route_list())
                 if mask[route].any())
-        for f in affected:
-            active.remove(f)
-        for f in affected:
-            # re-added after *all* removals so adaptive selection sees the
-            # post-fault occupancy, in ascending-id order for determinism
-            route = route_or_park(f, t)
-            if route is None:
-                continue
-            active.add(f, route, rate=0.0,
-                       weight=float(weight_arr[f]) if weighted else 1.0)
-            counters["flows_rerouted"] += 1
-            counters["rerouted_bits"] += float(remaining[f])
+        if affected:
+            active.remove_many(np.asarray(affected, dtype=np.int64))
+        if per_flow:
+            # re-added after *all* removals, per flow so each selection
+            # sees the occupancy the previous re-add left, in
+            # ascending-id order for determinism
+            for f in affected:
+                route = route_or_park(f, t)
+                if route is None:
+                    continue
+                active.add(f, route, rate=0.0,
+                           weight=float(weight_arr[f]) if weighted else 1.0)
+                counters["flows_rerouted"] += 1
+                counters["rerouted_bits"] += float(remaining[f])
+        else:
+            # routes are occupancy-independent: reroute each cut flow in
+            # the same ascending-id order, then re-admit the batch in one
+            # vectorised pass
+            fids: list[int] = []
+            route_list: list[np.ndarray] = []
+            for f in affected:
+                route = route_or_park(f, t)
+                if route is None:
+                    continue
+                fids.append(f)
+                route_list.append(route)
+                counters["flows_rerouted"] += 1
+                counters["rerouted_bits"] += float(remaining[f])
+            if fids:
+                fid_arr = np.asarray(fids, dtype=np.int64)
+                active.add_many(fid_arr, route_list,
+                                weights=weight_arr[fid_arr] if weighted
+                                else None)
+        recovered: list[int] = []
+        recovered_routes: list[np.ndarray] = []
         for f in sorted(parked):
             try:
                 route = route_of(f)
             except DegradedNetworkError:
                 continue  # still cut; retried at the next epoch
-            active.add(f, route, rate=0.0,
-                       weight=float(weight_arr[f]) if weighted else 1.0)
+            if per_flow:
+                active.add(f, route, rate=0.0,
+                           weight=float(weight_arr[f]) if weighted else 1.0)
+            else:
+                recovered.append(f)
+                recovered_routes.append(route)
             if collector is not None:
                 collector.flow_injected(float(flows.size[f]), route.shape[0])
             counters["flows_recovered"] += 1
             counters["recovery_seconds"] += t - parked.pop(f)
             counters["rerouted_bits"] += float(remaining[f])
+        if recovered:
+            fid_arr = np.asarray(recovered, dtype=np.int64)
+            active.add_many(fid_arr, recovered_routes,
+                            weights=weight_arr[fid_arr] if weighted
+                            else None)
         if parked and epoch_idx + 1 >= len(epochs):
             pairs = [(int(src_ep[f]), int(dst_ep[f])) for f in sorted(parked)]
             raise DegradedNetworkError(
@@ -364,7 +461,7 @@ def simulate_transient(topology: Topology, flows: FlowSet,
             completion[done_ids] = now
             active.remove_many(done_ids)
             released = release_batch(done_ids, now)
-        else:
+        elif per_flow:
             for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
                 completion[fid] = now
                 active.remove(fid)
@@ -373,6 +470,8 @@ def simulate_transient(topology: Topology, flows: FlowSet,
                     if indegree[succ] == 0:
                         # rate is inherited by the release (approx mode)
                         released += inject(succ, now, rate)
+        else:
+            released = release_inherit(done_ids, done_rates, now)
         completed_count += int(done_mask.sum())
         events += 1
         if events > max_events:

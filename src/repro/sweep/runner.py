@@ -49,7 +49,7 @@ import os
 import time
 import traceback
 from collections import deque
-from collections.abc import Callable
+from collections.abc import Callable, MutableMapping
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 
@@ -59,6 +59,7 @@ from repro.core.explorer import RunRecord
 from repro.engine import simulate
 from repro.errors import ReproError, SimulationError
 from repro.mapping import placement as placement_mod
+from repro.routing.cache import make_route_cache
 from repro.sweep.checkpoint import SweepCheckpoint
 from repro.sweep.plan import SweepCell, SweepPlan
 from repro.topology.base import Topology
@@ -361,7 +362,7 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
 
     flows_cache: _FlowsCache = {}
     degraded_cache: dict[str, Topology] = {}
-    route_caches: dict[str, dict] = {}
+    route_caches: dict[str, MutableMapping] = {}
     records: dict[str, dict] = {}
     current_workload: tuple[str, int | None] | None = None
 
@@ -384,7 +385,9 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
             topo = _cell_topology(cell, topology_provider(cell.topology),
                                   degraded_cache)
             doc = _run_cell(plan, cell, topo, flows_cache,
-                            route_caches.setdefault(cell.cache_key(), {}),
+                            route_caches.setdefault(
+                                cell.cache_key(),
+                                make_route_cache(plan.endpoints)),
                             collect_metrics=collect)
         except ReproError as exc:
             if not keep_going:
@@ -441,7 +444,7 @@ def _sweep_worker(plan: SweepPlan, conn, worker_id: int,
         current_label: str | None = None
         base: Topology | None = None
         degraded_cache: dict[str, Topology] = {}
-        route_caches: dict[str, dict] = {}
+        route_caches: dict[str, MutableMapping] = {}
         while True:
             try:
                 msg = conn.recv()
@@ -462,7 +465,9 @@ def _sweep_worker(plan: SweepPlan, conn, worker_id: int,
                     topo = _cell_topology(cell, base, degraded_cache)
                     doc = _run_cell(
                         plan, cell, topo, flows_cache,
-                        route_caches.setdefault(cell.cache_key(), {}),
+                        route_caches.setdefault(
+                            cell.cache_key(),
+                            make_route_cache(plan.endpoints)),
                         collect_metrics=collect_metrics)
                 except ReproError as exc:
                     conn.send(("cellerror",
