@@ -9,6 +9,12 @@ adding a bench record means registering its schema here, in the same PR.
 Usage::
 
     PYTHONPATH=src python benchmarks/check_schemas.py
+    PYTHONPATH=src python benchmarks/check_schemas.py --service-store DIR
+
+The second form validates every record of a ``repro serve`` result
+store directory against the service schema
+(:func:`repro.service.store.validate_store_record`) — the CI
+``service-smoke`` job points it at the store its round trip populated.
 
 The layout contract (documented in EXPERIMENTS.md): every machine-
 readable bench record lives at ``benchmarks/results/BENCH_<name>.json``,
@@ -96,15 +102,74 @@ def check_observability(doc: dict) -> str:
 
 #: BENCH_<name>.json -> validator.  A record file without an entry here
 #: fails the run — register the schema when adding the bench.
+def check_service(doc: dict) -> str:
+    assert doc["schema"] == "repro-bench-service-v1", doc.get("schema")
+    latency = doc["latency"]
+    for field in ("cold_s", "store_hit_s", "dedup_concurrent_worst_s",
+                  "dedup_concurrent_best_s", "clients"):
+        assert field in latency, field
+    assert 0 < latency["store_hit_s"] < latency["cold_s"], latency
+    dedup = doc["dedup"]
+    for field in ("requests", "simulated", "deduped", "store_hits",
+                  "rejected", "batches"):
+        assert field in dedup, field
+    # the service's reason to exist: far fewer simulations than requests
+    assert dedup["simulated"] < dedup["requests"], dedup
+    thr = doc["throughput"]
+    for field in ("cells", "capacity", "wall_s", "cells_per_s",
+                  "rejections"):
+        assert field in thr, field
+    assert thr["capacity"] < thr["cells"], thr  # queue actually bounded
+    return (f"{dedup['simulated']} sims for {dedup['requests']} requests, "
+            f"{thr['cells_per_s']:.1f} cells/s")
+
+
 VALIDATORS = {
     "BENCH_engine.json": check_engine,
     "BENCH_routing.json": check_routing,
     "BENCH_resilience.json": check_resilience,
     "BENCH_observability.json": check_observability,
+    "BENCH_service.json": check_service,
 }
 
 
+def check_service_store_dir(root: str) -> int:
+    """Validate every record in a ``repro serve`` store directory."""
+    from repro.service.store import validate_store_record
+
+    paths = sorted(glob.glob(os.path.join(root, "??", "*.json")))
+    if not paths:
+        print(f"no service store records under {root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            doc = json.loads(open(path).read())
+            validate_store_record(doc)
+            assert doc["digest"] == name[:-len(".json")], \
+                f"record filed under the wrong digest ({doc['digest'][:12]})"
+        except Exception as exc:
+            print(f"FAIL {name}: {type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {name[:12]}...: {doc['record']['workload']} on "
+              f"{doc['record']['topology']}")
+    if failures:
+        print(f"{failures} of {len(paths)} store records failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"validated {len(paths)} service store records")
+    return 0
+
+
 def main() -> int:
+    if sys.argv[1:2] == ["--service-store"]:
+        if len(sys.argv) != 3:
+            print("usage: check_schemas.py --service-store DIR",
+                  file=sys.stderr)
+            return 2
+        return check_service_store_dir(sys.argv[2])
     paths = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
     if not paths:
         print(f"no BENCH_*.json records under {RESULTS_DIR}",

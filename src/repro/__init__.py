@@ -18,12 +18,11 @@ Quickstart::
     print(result.makespan)
 """
 
+from repro._version import __version__
 from repro.engine import SimulationResult, simulate
 from repro.topology import build as build_topology
 from repro.units import DEFAULT_LINK_CAPACITY, GBPS, KiB, MiB
 from repro.workloads import build as build_workload
-
-__version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_LINK_CAPACITY",

@@ -1,0 +1,9 @@
+"""Single source of the engine version string.
+
+Lives in its own import-free module because the sweep layer folds the
+version into cell fingerprints (a result simulated by one engine version
+must never satisfy a request against another) and importing the ``repro``
+package root from ``repro.sweep.plan`` would be circular.
+"""
+
+__version__ = "1.0.0"

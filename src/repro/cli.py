@@ -14,6 +14,9 @@ Usage (installed as ``repro`` or via ``python -m repro``)::
         --cables 8 --jobs 4 --report campaign.json   # availability MC
     repro optimize --endpoints 512 --budget 40 --seed 7 \
         --report front.json               # search the design space
+    repro serve --store results/ --endpoints 512 --port 8641
+    repro submit --port 8641 --workload allreduce \
+        --topology nesttree --t 2 --u 4   # ask the running service
     repro info
 
 The sweep commands accept ``--metrics PATH`` to stream one observability
@@ -302,6 +305,83 @@ def main(argv: list[str] | None = None) -> int:
                     help="suppress progress logging")
     _add_cost_model(po)
 
+    pv = sub.add_parser(
+        "serve",
+        help="long-lived simulation service with a content-addressed "
+             "result cache and per-tenant fair scheduling")
+    _add_common(pv, endpoints=DEFAULT_ENDPOINTS)
+    pv.add_argument("--store", required=True, metavar="DIR",
+                    help="content-addressed result store directory "
+                         "(created if missing; shareable across service "
+                         "restarts and instances)")
+    pv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    pv.add_argument("--port", type=int, default=0,
+                    help="TCP port (default 0: pick a free port and "
+                         "print it)")
+    pv.add_argument("--fidelity", choices=("exact", "approx"),
+                    default="approx", help="engine fidelity (default approx)")
+    pv.add_argument("--capacity", type=int, default=256,
+                    help="bounded queue size; further submissions get a "
+                         "typed 429 (default 256)")
+    pv.add_argument("--weight", action="append", default=[],
+                    metavar="TENANT=W",
+                    help="fair-share weight for one tenant (repeatable; "
+                         "unlisted tenants weigh 1)")
+    pv.add_argument("--jobs", type=int, default=1,
+                    help="worker processes per simulation batch "
+                         "(default 1: serial)")
+    pv.add_argument("--cell-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="wall-clock cap per simulation cell")
+    pv.add_argument("--metrics", default=None, metavar="PATH",
+                    help="append one obs metrics record per simulated "
+                         "cell to this JSONL file (the stream accumulates "
+                         "across batches)")
+    pv.add_argument("--batch-max", type=int, default=32,
+                    help="cells drained into one simulation batch "
+                         "(default 32)")
+    pv.add_argument("--route-cache", choices=("auto", "dict", "sharded"),
+                    default=None,
+                    help="route-cache mode for the simulation workers "
+                         "(default: the REPRO_ROUTE_CACHE environment)")
+    pv.add_argument("--route-cache-resident", type=int, default=None,
+                    metavar="N",
+                    help="pool-wide resident route-cache shard budget, "
+                         "split across --jobs workers (0 = unbounded)")
+    pv.add_argument("--route-cache-dir", default=None, metavar="DIR",
+                    help="spill directory for sharded route caches")
+
+    pb = sub.add_parser(
+        "submit",
+        help="submit cells to a running `repro serve` instance")
+    pb.add_argument("--host", default="127.0.0.1",
+                    help="service address (default 127.0.0.1)")
+    pb.add_argument("--port", type=int, required=True,
+                    help="service port (printed by `repro serve`)")
+    pb.add_argument("--tenant", default="default",
+                    help="fair-share tenant name (default 'default')")
+    pb.add_argument("--no-wait", action="store_true",
+                    help="return digests immediately instead of waiting "
+                         "for results")
+    pb.add_argument("--cells-json", default=None, metavar="PATH",
+                    help="JSON file with a list of cell documents to "
+                         "submit (see docs/service.md); overrides the "
+                         "single-cell flags below")
+    pb.add_argument("--workload", default=None)
+    pb.add_argument("--tasks", type=int, default=None)
+    pb.add_argument("--topology", default=None,
+                    help="family: torus, fattree, ghc, nesttree, nestghc")
+    pb.add_argument("--t", type=int, default=None, help="subtorus side")
+    pb.add_argument("--u", type=int, default=None, help="uplink sparsity")
+    pb.add_argument("--placement", default="spread",
+                    help="task placement policy (default spread)")
+    _add_faults(pb, many_links=False)
+    pb.add_argument("--timeout", type=float, default=300.0,
+                    metavar="SECONDS",
+                    help="client-side HTTP timeout (default 300)")
+    _add_routing(pb)
+
     sub.add_parser("info", help="library inventory")
 
     args = parser.parse_args(argv)
@@ -322,6 +402,10 @@ def main(argv: list[str] | None = None) -> int:
         _run_single(args)
     elif args.command == "profile":
         _run_profile(args)
+    elif args.command == "serve":
+        _run_serve(args)
+    elif args.command == "submit":
+        return _run_submit(args)
     elif args.command == "info":
         _info()
     return 0
@@ -388,6 +472,10 @@ def _validate(parser: argparse.ArgumentParser,
                 parser.error(f"{flag} must be non-negative, got {value}")
     if args.command == "optimize":
         _validate_optimize(parser, args)
+    if args.command == "serve":
+        _validate_serve(parser, args)
+    if args.command == "submit":
+        _validate_submit(parser, args)
 
 
 def _validate_hybrid(parser: argparse.ArgumentParser,
@@ -445,6 +533,100 @@ def _validate_optimize(parser: argparse.ArgumentParser,
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         parser.error(f"--cell-timeout must be a positive number of "
                      f"seconds, got {args.cell_timeout}")
+
+
+def _parse_weights(parser: argparse.ArgumentParser,
+                   specs: list[str]) -> dict[str, int]:
+    """Expand repeated ``--weight TENANT=W`` flags, exiting 2 on bad ones."""
+    weights: dict[str, int] = {}
+    for spec in specs:
+        tenant, sep, value = spec.partition("=")
+        if not sep or not tenant:
+            parser.error(f"--weight must be TENANT=W, got {spec!r}")
+        try:
+            weight = int(value)
+        except ValueError:
+            parser.error(f"--weight {tenant}: weight must be an integer, "
+                         f"got {value!r}")
+        if weight < 1:
+            parser.error(f"--weight {tenant}: weight must be >= 1, "
+                         f"got {weight}")
+        weights[tenant] = weight
+    return weights
+
+
+def _validate_serve(parser: argparse.ArgumentParser,
+                    args: argparse.Namespace) -> None:
+    """Range-check the serve flags (exit 2, like the other subcommands)."""
+    if args.endpoints < 2:
+        parser.error(f"--endpoints must be >= 2, got {args.endpoints}")
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must be 0..65535, got {args.port}")
+    if args.capacity < 1:
+        parser.error(f"--capacity must be >= 1, got {args.capacity}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.batch_max < 1:
+        parser.error(f"--batch-max must be >= 1, got {args.batch_max}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be a positive number of "
+                     f"seconds, got {args.cell_timeout}")
+    if args.route_cache_resident is not None \
+            and args.route_cache_resident < 0:
+        parser.error(f"--route-cache-resident must be >= 0 "
+                     f"(0 = unbounded), got {args.route_cache_resident}")
+    _parse_weights(parser, args.weight)
+
+
+def _validate_submit(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> None:
+    """Client-side request validation: a bad cell dies here (exit 2)
+    instead of as a 400 from the service."""
+    from repro.errors import ProtocolError
+    from repro.service.protocol import submission_from_json
+
+    if not 1 <= args.port <= 65535:
+        parser.error(f"--port must be 1..65535, got {args.port}")
+    if args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
+    if args.cells_json is None and not (args.workload and args.topology):
+        parser.error("submit needs --cells-json PATH, or --workload and "
+                     "--topology for a single cell")
+    try:
+        submission_from_json({"tenant": args.tenant,
+                              "cells": _submit_cells(parser, args)})
+    except ProtocolError as exc:
+        parser.error(str(exc))
+
+
+def _submit_cells(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace) -> list[dict]:
+    """The cell documents a submit invocation sends."""
+    import json
+
+    if args.cells_json is not None:
+        try:
+            with open(args.cells_json) as fh:
+                cells = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"--cells-json {args.cells_json}: {exc}")
+        if not isinstance(cells, list):
+            parser.error(f"--cells-json {args.cells_json}: must hold a "
+                         f"JSON list of cell documents")
+        return cells
+    params = {}
+    if args.t is not None:
+        params["t"] = args.t
+    if args.u is not None:
+        params["u"] = args.u
+    faults = None
+    if args.fail_links or args.fail_uplinks:
+        faults = {"cables": args.fail_links, "uplinks": args.fail_uplinks,
+                  "seed": args.fail_seed}
+    return [{"workload": args.workload, "tasks": args.tasks,
+             "topology": {"family": args.topology, "params": params},
+             "placement": args.placement, "faults": faults,
+             "routing": args.routing}]
 
 
 def _parse_seeds_arg(parser: argparse.ArgumentParser,
@@ -793,6 +975,86 @@ def _run_profile(args: argparse.Namespace) -> None:
     print(result.summary())
     print()
     print(profile_report(result.metrics))
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Run the simulation service until interrupted.
+
+    Prints one parseable ``listening on HOST:PORT`` line (stdout,
+    flushed) once the socket is bound — scripts and the CI smoke job key
+    off it.
+    """
+    import asyncio
+
+    from repro.routing.cache import RouteCacheConfig
+    from repro.service import Broker, ResultStore, ServiceServer
+
+    cache_config = None
+    if args.route_cache is not None or args.route_cache_resident is not None \
+            or args.route_cache_dir is not None:
+        cache_config = RouteCacheConfig(
+            mode=args.route_cache or "auto",
+            resident=args.route_cache_resident,
+            spill_dir=args.route_cache_dir)
+    weights = {}
+    for spec in args.weight:
+        tenant, _, value = spec.partition("=")
+        weights[tenant] = int(value)
+
+    async def serve() -> None:
+        broker = Broker(
+            ResultStore(args.store),
+            endpoints=args.endpoints, fidelity=args.fidelity,
+            seed=args.seed, capacity=args.capacity,
+            weights=weights or None, jobs=args.jobs,
+            cell_timeout=args.cell_timeout, metrics_path=args.metrics,
+            route_cache_config=cache_config, batch_max=args.batch_max)
+        server = ServiceServer(broker, args.host, args.port)
+        host, port = await server.start()
+        print(f"repro service listening on {host}:{port} "
+              f"(store {args.store}, {args.endpoints} endpoints, "
+              f"{args.fidelity} fidelity, seed {args.seed})", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """Submit cells to a running service and print the JSON response.
+
+    Exit 0 when the service answered 200 and (if waiting) every cell
+    settled ``done``; 1 otherwise — so scripts can chain on success.
+    """
+    import json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    cells = _submit_cells(argparse.ArgumentParser(prog="repro submit"),
+                          args)
+    try:
+        status, doc = client.submit(cells, tenant=args.tenant,
+                                    wait=not args.no_wait)
+    except OSError as exc:
+        print(f"repro submit: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2))
+    if status != 200:
+        print(f"repro submit: service answered {status}", file=sys.stderr)
+        return 1
+    if not args.no_wait and any(r.get("status") != "done"
+                                for r in doc.get("results", ())):
+        return 1
+    return 0
 
 
 def _info() -> None:

@@ -36,6 +36,37 @@ class ConfigError(ReproError):
     """Raised for invalid experiment configurations."""
 
 
+class ServiceError(ReproError):
+    """Raised by the simulation service layer (broker, store, protocol)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed or invalid service requests/responses.
+
+    The HTTP front-end maps this to a 400 response whose body names the
+    offending field, mirroring the CLI's exit-2 validation style.
+    """
+
+
+class QueueFullError(ServiceError):
+    """Raised when the bounded service queue rejects a submission.
+
+    The typed backpressure signal: the HTTP front-end maps it to a 429
+    response carrying the queue ``capacity`` and current ``depth`` so
+    clients can back off instead of retrying blind.
+    """
+
+    def __init__(self, *, capacity: int, depth: int,
+                 tenant: str | None = None) -> None:
+        self.capacity = capacity
+        self.depth = depth
+        self.tenant = tenant
+        who = f" (tenant {tenant!r})" if tenant else ""
+        super().__init__(
+            f"service queue is full{who}: {depth} of {capacity} slots "
+            f"occupied; retry after in-flight work drains")
+
+
 class DegradedNetworkError(ReproError):
     """Raised when injected faults physically disconnect endpoint pairs.
 

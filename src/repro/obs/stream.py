@@ -35,17 +35,27 @@ _RECORD_FIELDS = frozenset({
 
 
 class MetricsStream:
-    """Write-once-per-cell JSONL sink bound to one sweep run."""
+    """Write-once-per-cell JSONL sink bound to one sweep run.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    ``append=True`` accumulates instead of regenerating: a long-lived
+    caller (the service broker) folds many small sweeps into one
+    observability file.  Key dedup still applies within one stream
+    instance; cross-run duplicates are the appending caller's contract
+    (the broker never re-simulates a fingerprint it already served, so
+    its stream stays one-record-per-cell too).
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 append: bool = False) -> None:
         self.path = Path(path)
         self._fh = None
+        self._append = append
         self._seen: set[str] = set()
         self.skipped_no_metrics = 0
 
     def open(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w")
+        self._fh = self.path.open("a" if self._append else "w")
 
     def write_cell(self, doc: dict) -> bool:
         """Emit the metrics record for one completed cell document.

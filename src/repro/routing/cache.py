@@ -33,16 +33,19 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
 import warnings
 import zlib
 from collections import OrderedDict
 from collections.abc import MutableMapping
+from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
 from repro.errors import ConfigError
 
-__all__ = ["RouteCacheWarning", "ShardedRouteCache", "make_route_cache"]
+__all__ = ["RouteCacheConfig", "RouteCacheWarning", "ShardedRouteCache",
+           "make_route_cache"]
 
 #: Default number of shards (source-endpoint ranges) per cache.
 DEFAULT_SHARDS = 64
@@ -243,10 +246,103 @@ class ShardedRouteCache(MutableMapping):
         return len(self._resident)
 
 
-def make_route_cache(endpoints: int | None = None) -> MutableMapping:
-    """Build the route cache the environment asks for.
+@dataclass(frozen=True)
+class RouteCacheConfig:
+    """Explicit route-cache policy, picklable across worker processes.
 
-    ``REPRO_ROUTE_CACHE`` selects the flavour:
+    The programmatic twin of the ``REPRO_ROUTE_CACHE*`` environment knobs:
+    the sweep runner and the service broker pass one of these down to each
+    worker so a *total* resident-set budget can be split across a pool
+    (the env knobs, read independently by every worker, would multiply the
+    budget by the worker count instead).  ``None`` fields defer to the
+    environment, then to the library defaults, so a partially specified
+    config composes with deployment-level tuning.
+
+    ``resident`` is the resident-shard budget (``0`` = unbounded, never
+    spill) — for a parallel sweep it is the budget of the *whole pool*;
+    :meth:`for_worker` carves out one worker's slice.
+    """
+
+    mode: str = "auto"              # auto | dict | sharded
+    shards: int | None = None
+    resident: int | None = None     # total resident budget; 0 = unbounded
+    spill_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "dict", "sharded"):
+            raise ConfigError(
+                f"route-cache mode must be 'auto', 'dict' or 'sharded', "
+                f"got {self.mode!r}")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.resident is not None and self.resident < 0:
+            raise ConfigError(
+                f"resident must be >= 0 (0 = unbounded), "
+                f"got {self.resident}")
+
+    @classmethod
+    def from_env(cls) -> RouteCacheConfig:
+        """The config the ``REPRO_ROUTE_CACHE`` environment variable asks
+        for; shard/resident/dir fields stay ``None`` (resolved lazily by
+        :func:`make_route_cache` so explicit configs override them)."""
+        mode = os.environ.get("REPRO_ROUTE_CACHE", "auto").strip().lower() \
+            or "auto"
+        if mode not in ("auto", "dict", "sharded"):
+            raise ConfigError(
+                f"REPRO_ROUTE_CACHE must be 'auto', 'dict' or 'sharded', "
+                f"got {mode!r}")
+        return cls(mode=mode)
+
+    def for_worker(self, worker_id: int, jobs: int) -> RouteCacheConfig:
+        """One pool worker's slice of this (pool-wide) budget.
+
+        The resident budget is divided evenly across ``jobs`` workers
+        (floor, minimum 1 shard each — a worker that cannot hold a single
+        shard cannot run); an explicit spill directory gains a per-worker
+        subdirectory so two workers never clobber each other's shard
+        files.  Respawned workers get fresh ids and therefore fresh
+        subdirectories, orphaning — never corrupting — a dead worker's
+        spills.
+        """
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        resident = self.resident
+        if jobs > 1 and resident not in (None, 0):
+            resident = max(1, resident // jobs)
+        spill = self.spill_dir
+        if spill is not None:
+            spill = os.path.join(spill, f"worker{worker_id}")
+        return replace(self, resident=resident, spill_dir=spill)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, str(default)))
+    except ValueError as exc:
+        raise ConfigError(f"{name} must be an integer: {exc}") from exc
+
+
+def _namespace_slug(namespace: str) -> str:
+    """A filesystem-safe, collision-resistant subdirectory name.
+
+    Human-readable prefix for debugging, CRC suffix so two namespaces
+    that sanitise or truncate to the same prefix still get distinct
+    directories.
+    """
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", namespace).strip("_.")[:40]
+    tag = f"{zlib.crc32(namespace.encode()):08x}"
+    return f"{slug}-{tag}" if slug else tag
+
+
+def make_route_cache(endpoints: int | None = None,
+                     config: RouteCacheConfig | None = None,
+                     namespace: str | None = None) -> MutableMapping:
+    """Build the route cache the config — or the environment — asks for.
+
+    With ``config=None`` the ``REPRO_ROUTE_CACHE`` env knobs decide, as
+    always; an explicit :class:`RouteCacheConfig` takes precedence field
+    by field (its ``None`` fields still fall back to the env knobs, then
+    the library defaults).
 
     * ``dict`` — a plain dict (the historical cache; everything
       resident);
@@ -258,33 +354,34 @@ def make_route_cache(endpoints: int | None = None) -> MutableMapping:
     ``REPRO_ROUTE_CACHE_SHARDS``, ``REPRO_ROUTE_CACHE_RESIDENT`` and
     ``REPRO_ROUTE_CACHE_DIR`` tune the sharded flavour (resident ``0``
     means unbounded — never spill).
+
+    ``namespace`` partitions the resolved spill directory: callers that
+    build *several* caches over one directory (the sweep runner keeps one
+    cache per ``(topology, faults)`` partition) must pass each cache's
+    partition key here.  Engine lookups use bare ``(src, dst)`` keys and
+    rely on instance separation for topology isolation, so without the
+    namespace a warm-started cache would happily serve another topology's
+    spilled routes — silently wrong paths, not an error.
     """
-    mode = os.environ.get("REPRO_ROUTE_CACHE", "auto").strip().lower() \
-        or "auto"
-    if mode not in ("auto", "dict", "sharded"):
-        raise ConfigError(
-            f"REPRO_ROUTE_CACHE must be 'auto', 'dict' or 'sharded', "
-            f"got {mode!r}")
+    if config is None:
+        config = RouteCacheConfig.from_env()
+    mode = config.mode
     if mode == "auto":
-        try:
-            threshold = int(os.environ.get("REPRO_ROUTE_CACHE_AUTO",
-                                           str(DEFAULT_AUTO_ENDPOINTS)))
-        except ValueError as exc:
-            raise ConfigError(
-                f"REPRO_ROUTE_CACHE_AUTO must be an integer: {exc}") from exc
+        threshold = _env_int("REPRO_ROUTE_CACHE_AUTO",
+                             DEFAULT_AUTO_ENDPOINTS)
         mode = "sharded" if endpoints is not None and endpoints >= threshold \
             else "dict"
     if mode == "dict":
         return {}
-    try:
-        shards = int(os.environ.get("REPRO_ROUTE_CACHE_SHARDS",
-                                    str(DEFAULT_SHARDS)))
-        resident = int(os.environ.get("REPRO_ROUTE_CACHE_RESIDENT",
-                                      str(DEFAULT_RESIDENT)))
-    except ValueError as exc:
-        raise ConfigError(
-            f"route-cache knobs must be integers: {exc}") from exc
+    shards = config.shards if config.shards is not None \
+        else _env_int("REPRO_ROUTE_CACHE_SHARDS", DEFAULT_SHARDS)
+    resident = config.resident if config.resident is not None \
+        else _env_int("REPRO_ROUTE_CACHE_RESIDENT", DEFAULT_RESIDENT)
+    spill_dir = config.spill_dir \
+        or os.environ.get("REPRO_ROUTE_CACHE_DIR") or None
+    if spill_dir is not None and namespace is not None:
+        spill_dir = os.path.join(spill_dir, _namespace_slug(namespace))
     return ShardedRouteCache(
         shards=shards,
         max_resident=None if resident == 0 else resident,
-        spill_dir=os.environ.get("REPRO_ROUTE_CACHE_DIR") or None)
+        spill_dir=spill_dir)

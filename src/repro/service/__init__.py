@@ -1,0 +1,41 @@
+"""Simulation-as-a-service: async front-end over the sweep runner.
+
+A long-lived service layer (``repro serve`` / ``repro submit``) that
+answers repeated design-point questions without repeated simulation:
+
+* :mod:`repro.service.store` — content-addressed, schema-versioned
+  result store keyed by the canonical cell fingerprint;
+* :mod:`repro.service.scheduler` — bounded queue with weighted
+  per-tenant fair sharing (stride scheduling);
+* :mod:`repro.service.broker` — in-flight dedup, fair batching, and the
+  bridge into :func:`repro.sweep.runner.run_sweep`;
+* :mod:`repro.service.protocol` — strict JSON wire forms;
+* :mod:`repro.service.http` — stdlib-only asyncio HTTP front-end plus a
+  small synchronous client.
+
+See ``docs/service.md`` for the architecture and the wire protocol.
+"""
+
+from repro.service.broker import Broker
+from repro.service.http import ServiceClient, ServiceServer
+from repro.service.protocol import (cell_from_json, cell_to_json,
+                                    submission_from_json)
+from repro.service.scheduler import FairScheduler
+from repro.service.store import (RESULT_SCHEMA_VERSION, ResultStore,
+                                 ResultStoreWarning, content_digest,
+                                 validate_store_record)
+
+__all__ = [
+    "Broker",
+    "FairScheduler",
+    "RESULT_SCHEMA_VERSION",
+    "ResultStore",
+    "ResultStoreWarning",
+    "ServiceClient",
+    "ServiceServer",
+    "cell_from_json",
+    "cell_to_json",
+    "content_digest",
+    "submission_from_json",
+    "validate_store_record",
+]

@@ -1,0 +1,132 @@
+"""Bounded, weighted fair queueing for the simulation service.
+
+One greedy tenant must not starve the others: the scheduler implements
+*stride scheduling* over per-tenant FIFO lanes.  Every tenant carries a
+pass value; each dequeue picks the lane with the smallest pass and
+advances it by the lane's stride (``SCALE / weight``), so over time each
+backlogged tenant receives service proportional to its weight while
+requests within one tenant stay in submission order.
+
+The queue is bounded: :meth:`FairScheduler.submit` raises the typed
+:class:`~repro.errors.QueueFullError` once ``capacity`` entries are
+waiting, which the HTTP front-end surfaces as a 429 so clients back off
+instead of piling work onto a saturated broker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import ConfigError, QueueFullError
+
+__all__ = ["FairScheduler"]
+
+#: Stride numerator; weights divide this, so pass values stay integral
+#: and exactly comparable for any weight up to the scale.
+STRIDE_SCALE = 1 << 20
+
+
+class FairScheduler:
+    """Weighted fair queue of ``(tenant, item)`` submissions.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries queued across all tenants; further submissions
+        raise :class:`~repro.errors.QueueFullError`.
+    weights:
+        Optional ``tenant -> weight`` map (positive integers).  A tenant
+        with weight 2 drains twice as fast as a weight-1 tenant while
+        both are backlogged.  Unknown tenants get ``default_weight``.
+    """
+
+    def __init__(self, capacity: int, *,
+                 weights: dict[str, int] | None = None,
+                 default_weight: int = 1) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if default_weight < 1:
+            raise ConfigError(
+                f"default_weight must be >= 1, got {default_weight}")
+        for tenant, weight in (weights or {}).items():
+            if not isinstance(weight, int) or weight < 1:
+                raise ConfigError(
+                    f"weight for tenant {tenant!r} must be a positive "
+                    f"integer, got {weight!r}")
+        self.capacity = capacity
+        self._weights = dict(weights or {})
+        self._default_weight = default_weight
+        self._lanes: dict[str, deque[Any]] = {}
+        self._passes: dict[str, int] = {}
+        #: pass value newly backlogged lanes start from — the max pass
+        #: already issued, so a tenant cannot bank credit while idle
+        self._clock = 0
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+
+    def _stride(self, tenant: str) -> int:
+        return STRIDE_SCALE // self._weights.get(tenant,
+                                                 self._default_weight)
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued across all tenants."""
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def backlog(self) -> dict[str, int]:
+        """Queued entries per tenant (only tenants with a backlog)."""
+        return {t: len(lane) for t, lane in self._lanes.items() if lane}
+
+    # ------------------------------------------------------------------
+
+    def submit(self, tenant: str, item: Any) -> None:
+        """Queue one item for a tenant, or raise :class:`QueueFullError`."""
+        if self._depth >= self.capacity:
+            raise QueueFullError(capacity=self.capacity, depth=self._depth,
+                                 tenant=tenant)
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        if not lane:
+            # (re)joining the backlog: start at the current clock so an
+            # idle period never accumulates scheduling credit
+            self._passes[tenant] = max(self._passes.get(tenant, 0),
+                                       self._clock)
+        lane.append(item)
+        self._depth += 1
+
+    def next(self) -> tuple[str, Any] | None:
+        """Dequeue the fairest next ``(tenant, item)``; ``None`` if empty.
+
+        Smallest pass wins; ties break on the tenant name so the order is
+        deterministic and testable.
+        """
+        best: str | None = None
+        for tenant, lane in self._lanes.items():
+            if not lane:
+                continue
+            if best is None or (self._passes[tenant], tenant) \
+                    < (self._passes[best], best):
+                best = tenant
+        if best is None:
+            return None
+        item = self._lanes[best].popleft()
+        self._passes[best] += self._stride(best)
+        self._clock = max(self._clock, self._passes[best])
+        self._depth -= 1
+        return best, item
+
+    def drain(self, limit: int | None = None) -> Iterator[tuple[str, Any]]:
+        """Yield up to ``limit`` fair-ordered entries (all, if ``None``)."""
+        taken = 0
+        while limit is None or taken < limit:
+            entry = self.next()
+            if entry is None:
+                return
+            taken += 1
+            yield entry

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._version import __version__ as ENGINE_VERSION
 from repro.core.config import TopologySpec, WorkloadSpec
 from repro.errors import ConfigError
 from repro.topology.timeline import TimelineSpec
@@ -87,8 +88,34 @@ class SweepCell:
             return ""  # static cells keep their pre-timeline keys
         return f"|{self.timeline.label()}"
 
+    def fingerprint(self) -> dict:
+        """Canonical content description of this cell's simulation.
+
+        The single fingerprint shared by every identity the cell has:
+        the checkpoint key (:meth:`key` is a stable string projection of
+        the ``workload``/``tasks``/``topology``/``faults``/``routing``/
+        ``timeline`` entries) and the service result store (which hashes
+        this dict together with the plan globals into a content address,
+        see :func:`repro.service.store.content_digest`).  It additionally
+        carries the fields the checkpoint key deliberately omits: the
+        placement policy (checkpoint keys predate it and must stay
+        byte-identical) and the engine version, so a store populated by
+        one engine release never answers for another.
+        """
+        return {
+            "workload": self.workload.name,
+            "tasks": self.workload.tasks,
+            "topology": self.topology.label(),
+            "placement": self.placement,
+            "faults": self.fault_fingerprint(),
+            "routing": self.routing,
+            "timeline": (None if self.timeline is None
+                         else self.timeline.fingerprint()),
+            "engine": ENGINE_VERSION,
+        }
+
     def key(self) -> str:
-        """Stable checkpoint key.
+        """Stable checkpoint key (a projection of :meth:`fingerprint`).
 
         Includes the task count because the same workload name can run at
         different caps (``--quadratic-tasks``); a checkpoint written at one
@@ -98,8 +125,9 @@ class SweepCell:
         resume never mixes policies.  Extra workload params are not
         fingerprinted — use a fresh checkpoint when overriding them.
         """
-        tasks = "all" if self.workload.tasks is None else self.workload.tasks
-        return (f"{self.workload.name}@{tasks}|{self.topology.label()}"
+        fp = self.fingerprint()
+        tasks = "all" if fp["tasks"] is None else fp["tasks"]
+        return (f"{fp['workload']}@{tasks}|{fp['topology']}"
                 f"{self._fault_suffix()}{self._routing_suffix()}"
                 f"{self._timeline_suffix()}")
 

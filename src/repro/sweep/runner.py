@@ -59,7 +59,7 @@ from repro.core.explorer import RunRecord
 from repro.engine import simulate
 from repro.errors import ReproError, SimulationError
 from repro.mapping import placement as placement_mod
-from repro.routing.cache import make_route_cache
+from repro.routing.cache import RouteCacheConfig, make_route_cache
 from repro.sweep.checkpoint import SweepCheckpoint
 from repro.sweep.plan import SweepCell, SweepPlan
 from repro.topology.base import Topology
@@ -88,7 +88,10 @@ def run_sweep(plan: SweepPlan, *,
               cell_timeout: float | None = None,
               max_respawns: int = DEFAULT_MAX_RESPAWNS,
               metrics_path: str | os.PathLike | None = None,
+              metrics_append: bool = False,
               failures_out: dict[str, dict] | None = None,
+              results_out: dict[str, dict] | None = None,
+              route_cache_config: RouteCacheConfig | None = None,
               ) -> list[RunRecord]:
     """Execute a sweep plan and return its records in plan order.
 
@@ -138,11 +141,28 @@ def run_sweep(plan: SweepPlan, *,
         cycle still yields exactly one record per cell.  Cells resumed
         from a checkpoint written *without* metrics have none to replay;
         they are counted and reported through ``log``.
+    metrics_append:
+        Open the ``metrics_path`` stream in append mode instead of
+        regenerating it — long-lived callers (the service broker) fold
+        many small sweeps into one observability file.
     failures_out:
         Optional dict the ``keep_going`` failure records are merged into,
         keyed by cell key — callers like the design search use it to mark
         candidates infeasible instead of only seeing them vanish from the
         returned records.
+    results_out:
+        Optional dict the raw checkpoint-shaped cell documents are merged
+        into, keyed by cell key — resumed cells included.  The service
+        result store persists these documents verbatim; the returned
+        :class:`RunRecord` list is a narrower projection.
+    route_cache_config:
+        Explicit per-run route-cache policy
+        (:class:`~repro.routing.cache.RouteCacheConfig`).  In parallel
+        mode the config's resident-shard budget is the budget of the
+        *whole pool*: each worker receives ``config.for_worker(...)`` —
+        its even share — so a sweep's total resident set stays bounded
+        regardless of ``jobs``.  ``None`` keeps the historical behaviour
+        (each worker reads the ``REPRO_ROUTE_CACHE*`` env knobs).
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -175,7 +195,7 @@ def run_sweep(plan: SweepPlan, *,
     if metrics_path is not None:
         from repro.obs import MetricsStream
 
-        stream = MetricsStream(metrics_path)
+        stream = MetricsStream(metrics_path, append=metrics_append)
         stream.open()
         # replay metrics of cells already complete in the checkpoint, so
         # the regenerated file covers the whole plan after a resume
@@ -191,11 +211,11 @@ def run_sweep(plan: SweepPlan, *,
         if jobs == 1:
             records = _run_serial(plan, pending, store, log,
                                   topology_provider, keep_going, cell_timeout,
-                                  failures, stream)
+                                  failures, stream, route_cache_config)
         else:
             records = _run_parallel(plan, pending, store, log, jobs,
                                     keep_going, cell_timeout, max_respawns,
-                                    failures, stream)
+                                    failures, stream, route_cache_config)
     finally:
         if stream is not None:
             stream.close()
@@ -211,6 +231,8 @@ def run_sweep(plan: SweepPlan, *,
             f"error entries: {', '.join(sorted(failures))}")
     if failures_out is not None:
         failures_out.update(failures)
+    if results_out is not None:
+        results_out.update(by_key)
     return [_to_record(by_key[c.key()]) for c in plan.cells
             if c.key() in by_key]
 
@@ -347,7 +369,9 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
                 topology_provider: Callable[..., Topology] | None,
                 keep_going: bool, cell_timeout: float | None,
                 failures: dict[str, dict],
-                stream=None) -> dict[str, dict]:
+                stream=None,
+                cache_config: RouteCacheConfig | None = None
+                ) -> dict[str, dict]:
     collect = stream is not None
     if topology_provider is None:
         topologies: dict[str, Topology] = {}
@@ -387,7 +411,9 @@ def _run_serial(plan: SweepPlan, pending: list[SweepCell],
             doc = _run_cell(plan, cell, topo, flows_cache,
                             route_caches.setdefault(
                                 cell.cache_key(),
-                                make_route_cache(plan.endpoints)),
+                                make_route_cache(plan.endpoints,
+                                                 config=cache_config,
+                                                 namespace=cell.cache_key())),
                             collect_metrics=collect)
         except ReproError as exc:
             if not keep_going:
@@ -429,7 +455,8 @@ def _group_cells(pending: list[SweepCell]) -> list[list[SweepCell]]:
 
 
 def _sweep_worker(plan: SweepPlan, conn, worker_id: int,
-                  collect_metrics: bool = False) -> None:
+                  collect_metrics: bool = False,
+                  cache_config: RouteCacheConfig | None = None) -> None:
     """Worker loop: receive topology groups, build once, run their cells.
 
     The worker owns one end of a duplex pipe.  The parent sends
@@ -467,7 +494,9 @@ def _sweep_worker(plan: SweepPlan, conn, worker_id: int,
                         plan, cell, topo, flows_cache,
                         route_caches.setdefault(
                             cell.cache_key(),
-                            make_route_cache(plan.endpoints)),
+                            make_route_cache(plan.endpoints,
+                                             config=cache_config,
+                                             namespace=cell.cache_key())),
                         collect_metrics=collect_metrics)
                 except ReproError as exc:
                     conn.send(("cellerror",
@@ -501,7 +530,9 @@ def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
                   log: Callable[[str], None] | None,
                   jobs: int, keep_going: bool, cell_timeout: float | None,
                   max_respawns: int, failures: dict[str, dict],
-                  stream=None) -> dict[str, dict]:
+                  stream=None,
+                  cache_config: RouteCacheConfig | None = None
+                  ) -> dict[str, dict]:
     if not pending:
         return {}
     collect = stream is not None
@@ -519,8 +550,12 @@ def _run_parallel(plan: SweepPlan, pending: list[SweepCell],
     def spawn() -> None:
         nonlocal next_wid
         parent_conn, child_conn = ctx.Pipe()
+        # each worker gets its slice of the pool-wide route-cache budget
+        worker_cache = None if cache_config is None \
+            else cache_config.for_worker(next_wid, jobs)
         proc = ctx.Process(target=_sweep_worker,
-                           args=(plan, child_conn, next_wid, collect),
+                           args=(plan, child_conn, next_wid, collect,
+                                 worker_cache),
                            daemon=True)
         proc.start()
         child_conn.close()

@@ -267,3 +267,108 @@ class TestScaleSmoke:
                               timeout=600)
         assert proc.returncode == 0, proc.stderr
         assert "rss_mb=" in proc.stdout
+
+
+class TestRouteCacheConfig:
+    """The explicit config object the sweep runner threads to workers."""
+
+    def test_defaults_match_env_defaults(self):
+        from repro.routing.cache import RouteCacheConfig
+
+        cfg = RouteCacheConfig()
+        assert isinstance(make_route_cache(64, config=cfg), dict)
+        sharded = make_route_cache(
+            64, config=RouteCacheConfig(mode="sharded"))
+        assert isinstance(sharded, ShardedRouteCache)
+
+    def test_explicit_fields_override_env(self, monkeypatch):
+        from repro.routing.cache import RouteCacheConfig
+
+        monkeypatch.setenv("REPRO_ROUTE_CACHE", "dict")
+        monkeypatch.setenv("REPRO_ROUTE_CACHE_SHARDS", "128")
+        monkeypatch.setenv("REPRO_ROUTE_CACHE_RESIDENT", "32")
+        cache = make_route_cache(
+            64, config=RouteCacheConfig(mode="sharded", shards=8,
+                                        resident=2))
+        assert isinstance(cache, ShardedRouteCache)
+        assert cache.shards == 8 and cache.max_resident == 2
+
+    def test_none_fields_fall_back_to_env(self, monkeypatch):
+        from repro.routing.cache import RouteCacheConfig
+
+        monkeypatch.setenv("REPRO_ROUTE_CACHE_SHARDS", "16")
+        monkeypatch.setenv("REPRO_ROUTE_CACHE_RESIDENT", "0")
+        cache = make_route_cache(
+            64, config=RouteCacheConfig(mode="sharded"))
+        assert cache.shards == 16 and cache.max_resident is None
+
+    def test_validation(self):
+        from repro.routing.cache import RouteCacheConfig
+
+        with pytest.raises(ConfigError):
+            RouteCacheConfig(mode="bogus")
+        with pytest.raises(ConfigError):
+            RouteCacheConfig(shards=0)
+        with pytest.raises(ConfigError):
+            RouteCacheConfig(resident=-1)
+
+    def test_for_worker_divides_resident_budget(self, tmp_path):
+        from repro.routing.cache import RouteCacheConfig
+
+        cfg = RouteCacheConfig(mode="sharded", shards=64, resident=16,
+                               spill_dir=str(tmp_path))
+        w0 = cfg.for_worker(0, 4)
+        w3 = cfg.for_worker(3, 4)
+        assert w0.resident == w3.resident == 4
+        assert w0.spill_dir == os.path.join(str(tmp_path), "worker0")
+        assert w3.spill_dir == os.path.join(str(tmp_path), "worker3")
+        # the floor: a worker always gets at least one resident shard
+        assert cfg.for_worker(0, 64).resident == 1
+        # unbounded budgets and serial runs pass through untouched
+        assert RouteCacheConfig(resident=0).for_worker(0, 8).resident == 0
+        assert cfg.for_worker(0, 1).resident == 16
+
+
+class TestConfigThreadedThroughSweep:
+    """run_sweep hands each pool worker its slice of the cache budget."""
+
+    def test_parallel_sweep_honours_config(self, tmp_path):
+        from repro.core import DesignSpaceExplorer
+        from repro.routing.cache import RouteCacheConfig
+        from repro.sweep import run_sweep
+
+        explorer = DesignSpaceExplorer(64, quadratic_tasks=16, seed=0)
+        plan = explorer.plan(["reduce"])
+        spill = tmp_path / "spill"
+        cfg = RouteCacheConfig(mode="sharded", shards=8, resident=2,
+                               spill_dir=str(spill))
+        records = run_sweep(plan, jobs=2, route_cache_config=cfg)
+        serial = run_sweep(plan)
+        assert [(r.topology, r.makespan) for r in records] \
+            == [(r.topology, r.makespan) for r in serial]
+        # each worker spilled into its own budgeted subdirectory, with a
+        # per-(topology, faults) namespace below it so no two cache
+        # instances ever share shard files
+        worker_dirs = sorted(p.name for p in spill.iterdir())
+        assert worker_dirs and all(d.startswith("worker")
+                                   for d in worker_dirs)
+        assert any(list(spill.glob("worker*/*/shard_*.bin")))
+
+    def test_serial_sweep_honours_config(self, tmp_path):
+        from repro.core import DesignSpaceExplorer
+        from repro.routing.cache import RouteCacheConfig
+        from repro.sweep import run_sweep
+
+        explorer = DesignSpaceExplorer(64, quadratic_tasks=16, seed=0)
+        plan = explorer.plan(["reduce"])
+        spill = tmp_path / "spill-serial"
+        cfg = RouteCacheConfig(mode="sharded", shards=8, resident=1,
+                               spill_dir=str(spill))
+        sharded = run_sweep(plan, route_cache_config=cfg)
+        # one namespace directory per (topology, faults) cache partition;
+        # without the namespacing a later topology warm-starts from an
+        # earlier one's shard files and silently routes over them
+        assert any(spill.glob("*/shard_*.bin"))
+        plain = run_sweep(plan)
+        assert [(r.topology, r.makespan) for r in sharded] \
+            == [(r.topology, r.makespan) for r in plain]

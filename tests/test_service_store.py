@@ -1,0 +1,215 @@
+"""Tests for the content-addressed result store."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.store import (RESULT_SCHEMA_VERSION, ResultStore,
+                                 ResultStoreWarning, content_digest,
+                                 validate_store_record)
+
+META = {"endpoints": 64, "fidelity": "approx", "seed": 0}
+
+FINGERPRINT = {
+    "workload": "reduce", "tasks": None, "topology": "fattree",
+    "placement": "spread", "faults": None, "routing": "deterministic",
+    "timeline": None, "engine": "1.0.0",
+}
+
+RECORD = {
+    "key": "reduce@all|fattree", "workload": "reduce",
+    "topology": "fattree", "family": "fattree", "makespan": 0.0065,
+    "num_flows": 63, "events": 1, "reallocations": 1,
+    "wall_seconds": 0.01,
+}
+
+
+def digest() -> str:
+    return content_digest(FINGERPRINT, META)
+
+
+class TestContentDigest:
+    def test_deterministic_and_order_independent(self):
+        reordered = dict(reversed(list(FINGERPRINT.items())))
+        assert content_digest(FINGERPRINT, META) \
+            == content_digest(reordered, META)
+        assert len(digest()) == 64
+
+    def test_meta_and_fingerprint_sensitive(self):
+        assert content_digest(FINGERPRINT, META) \
+            != content_digest(FINGERPRINT, dict(META, endpoints=128))
+        other = dict(FINGERPRINT, placement="random")
+        assert content_digest(FINGERPRINT, META) \
+            != content_digest(other, META)
+
+    def test_engine_version_changes_the_address(self):
+        bumped = dict(FINGERPRINT, engine="9.9.9")
+        assert content_digest(FINGERPRINT, META) \
+            != content_digest(bumped, META)
+
+
+class TestValidation:
+    def make_doc(self, **over) -> dict:
+        doc = {"schema": RESULT_SCHEMA_VERSION, "digest": digest(),
+               "fingerprint": dict(FINGERPRINT), "meta": dict(META),
+               "record": dict(RECORD)}
+        doc.update(over)
+        return doc
+
+    def test_valid_doc_passes(self):
+        validate_store_record(self.make_doc())
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ServiceError, match="schema"):
+            validate_store_record(self.make_doc(schema="something-else"))
+
+    def test_bad_digest_rejected(self):
+        with pytest.raises(ServiceError, match="digest"):
+            validate_store_record(self.make_doc(digest="abc"))
+
+    def test_error_records_never_stored(self):
+        bad = self.make_doc(record=dict(RECORD, error="SimulationError"))
+        with pytest.raises(ServiceError, match="error records"):
+            validate_store_record(bad)
+
+    def test_missing_result_fields_rejected(self):
+        body = dict(RECORD)
+        del body["makespan"]
+        with pytest.raises(ServiceError, match="makespan"):
+            validate_store_record(self.make_doc(record=body))
+
+    def test_engineless_fingerprint_rejected(self):
+        fp = dict(FINGERPRINT)
+        del fp["engine"]
+        with pytest.raises(ServiceError, match="engine"):
+            validate_store_record(self.make_doc(fingerprint=fp))
+
+
+class TestStoreRoundTrip:
+    def test_put_get_contains_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(digest()) is None
+        assert digest() not in store
+        doc = store.put(digest(), FINGERPRINT, META, RECORD)
+        assert digest() in store
+        assert store.get(digest()) == doc
+        assert store.digests() == [digest()]
+        assert len(store) == 1
+        assert store.stats["puts"] == 1 and store.stats["hits"] == 1
+
+    def test_records_fan_into_prefix_dirs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(digest(), FINGERPRINT, META, RECORD)
+        path = tmp_path / digest()[:2] / f"{digest()}.json"
+        assert path.exists()
+
+    def test_fresh_store_reads_predecessors_records(self, tmp_path):
+        ResultStore(tmp_path).put(digest(), FINGERPRINT, META, RECORD)
+        again = ResultStore(tmp_path)
+        assert again.get(digest())["record"] == RECORD
+
+
+class TestCorruptRecovery:
+    def write_raw(self, root: Path, text: str) -> Path:
+        path = root / digest()[:2] / f"{digest()}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def test_garbage_record_warns_and_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self.write_raw(tmp_path, "not json at all")
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(digest()) is None
+        assert not path.exists()  # removed, so the next read is a clean miss
+        assert store.stats["corrupt"] == 1
+
+    def test_truncated_record_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        doc = store.put(digest(), FINGERPRINT, META, RECORD)
+        path = tmp_path / digest()[:2] / f"{digest()}.json"
+        path.write_text(json.dumps(doc)[: len(json.dumps(doc)) // 2])
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(digest()) is None
+        # re-putting heals the store
+        store.put(digest(), FINGERPRINT, META, RECORD)
+        assert store.get(digest()) is not None
+
+    def test_foreign_schema_record_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self.write_raw(tmp_path, json.dumps({"schema": "other-v1"}))
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(digest()) is None
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        doc = {"schema": RESULT_SCHEMA_VERSION, "digest": "f" * 64,
+               "fingerprint": FINGERPRINT, "meta": META, "record": RECORD}
+        self.write_raw(tmp_path, json.dumps(doc))
+        with pytest.warns(ResultStoreWarning):
+            assert store.get(digest()) is None
+
+    def test_crashed_predecessors_tmp_debris_is_inert(self, tmp_path):
+        # a predecessor that died mid-put leaves a *.tmp file behind; it
+        # must never be served and must not break enumeration
+        store = ResultStore(tmp_path)
+        store.put(digest(), FINGERPRINT, META, RECORD)
+        debris = tmp_path / digest()[:2] / f"{digest()}.99999.tmp"
+        debris.write_text("half-written garbag")
+        assert store.digests() == [digest()]
+        assert store.get(digest())["record"] == RECORD
+
+
+WRITER = """
+import sys
+from repro.service.store import ResultStore, content_digest
+
+root, start = sys.argv[1], int(sys.argv[2])
+meta = {"endpoints": 64, "fidelity": "approx", "seed": 0}
+store = ResultStore(root)
+for i in range(start, start + 40):
+    fp = {"workload": "reduce", "tasks": None, "topology": f"topo{i % 8}",
+          "placement": "spread", "faults": None,
+          "routing": "deterministic", "timeline": None, "engine": "1.0.0"}
+    record = {"key": f"k{i % 8}", "workload": "reduce",
+              "topology": f"topo{i % 8}", "family": "t", "makespan": 0.1,
+              "num_flows": 1, "events": 1, "reallocations": 0,
+              "wall_seconds": 0.0}
+    store.put(content_digest(fp, meta), fp, meta, record)
+print(len(store.digests()))
+"""
+
+
+class TestConcurrentAccess:
+    def test_two_processes_share_one_store_without_corruption(
+            self, tmp_path):
+        # two writers race on an overlapping digest set (i % 8 aliases
+        # across the ranges): every surviving record must validate
+        import os
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(repro.__file__).parents[1])]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", WRITER, str(tmp_path), str(start)],
+            stdout=subprocess.PIPE, env=env)
+            for start in (0, 4)]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+        store = ResultStore(tmp_path)
+        digests = store.digests()
+        assert len(digests) == 8  # 8 distinct fingerprints across both
+        for d in digests:
+            doc = store.get(d)
+            assert doc is not None and doc["digest"] == d
+        assert store.stats["corrupt"] == 0

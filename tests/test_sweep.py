@@ -154,3 +154,53 @@ class TestGroupCells:
         plan = make_explorer().plan(WORKLOADS)
         sizes = [len(g) for g in _group_cells(list(plan.cells))]
         assert sizes == sorted(sizes, reverse=True)
+
+
+class TestResultsOut:
+    """results_out hands back the raw checkpoint-shaped documents."""
+
+    def test_collects_raw_docs_for_every_cell(self):
+        from repro.sweep.checkpoint import RESULT_FIELDS
+
+        plan = make_explorer().plan(["reduce"])
+        docs: dict[str, dict] = {}
+        records = run_sweep(plan, results_out=docs)
+        assert set(docs) == {c.key() for c in plan.cells}
+        for cell, rec in zip(plan.cells, records):
+            doc = docs[cell.key()]
+            assert RESULT_FIELDS <= doc.keys()
+            assert doc["makespan"] == rec.makespan
+
+    def test_includes_resumed_cells(self, tmp_path):
+        plan = make_explorer().plan(["reduce"])
+        ck = tmp_path / "ck.jsonl"
+        run_sweep(plan, checkpoint=str(ck))
+        docs: dict[str, dict] = {}
+        run_sweep(plan, checkpoint=str(ck), resume=True, results_out=docs)
+        # nothing re-simulated, yet every cell's document is delivered
+        assert set(docs) == {c.key() for c in plan.cells}
+
+
+class TestMetricsAppend:
+    """metrics_append=True accumulates across runs; default regenerates."""
+
+    def test_append_accumulates_across_runs(self, tmp_path):
+        from repro.obs.stream import validate_metrics_file
+
+        path = tmp_path / "metrics.jsonl"
+        p1 = make_explorer().plan(["reduce"])
+        p2 = make_explorer().plan(["allreduce"])
+        run_sweep(p1, metrics_path=str(path), metrics_append=True)
+        n1 = validate_metrics_file(path)
+        assert n1 == len(p1.cells)
+        run_sweep(p2, metrics_path=str(path), metrics_append=True)
+        assert validate_metrics_file(path) == n1 + len(p2.cells)
+
+    def test_default_regenerates(self, tmp_path):
+        from repro.obs.stream import validate_metrics_file
+
+        path = tmp_path / "metrics.jsonl"
+        plan = make_explorer().plan(["reduce"])
+        run_sweep(plan, metrics_path=str(path))
+        run_sweep(plan, metrics_path=str(path))
+        assert validate_metrics_file(path) == len(plan.cells)
