@@ -46,6 +46,11 @@ _HEADLINE_ENDPOINTS = 4096
 _HEADLINE_SPEEDUP = 2.0
 _HEADLINE_CELLS = ("allreduce", "unstructuredhr")
 
+#: Exact-batch (suffix-resume relevel) A/B: floor on the heavy cells at
+#: headline scale, relevel on vs off, incremental allocator both legs.
+_EXACT_BATCH_SPEEDUP = 1.5
+_EXACT_BATCH_CELLS = ("allreduce", "unstructuredhr")
+
 
 #: Paper-scale cells (one QFDB-pair port per endpoint, Sec. 5 scale).
 #: Gated behind ``REPRO_BENCH_PAPER_SCALE=1`` — a single timed round of
@@ -150,13 +155,86 @@ def test_engine_allocator_speedup(benchmark):
         "rounds": _ROUNDS,
         "cells": cells,
     }
-    # the paper-scale block is produced by its own (env-gated) run; a
-    # small-scale regeneration (e.g. CI at 64 endpoints) must not drop it
-    prior = _load_record().get("paper_scale")
+    # the paper-scale and exact-batch blocks are produced by their own
+    # runs; a small-scale regeneration (e.g. CI at 64 endpoints) must
+    # not drop a larger committed block
+    prior_record = _load_record()
+    prior = prior_record.get("paper_scale")
     if prior is not None and prior.get("endpoints", 0) > BENCH_ENDPOINTS:
         record["paper_scale"] = prior
+    prior = prior_record.get("exact_batch")
+    if prior is not None and prior.get("endpoints", 0) > BENCH_ENDPOINTS:
+        record["exact_batch"] = prior
     _write_record(record)
     assert _record_path().exists()
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_exact_batch(benchmark, monkeypatch):
+    """A/B the suffix-resume relevel on the exact-fidelity heavy cells.
+
+    Both legs run the incremental allocator on a warmed route cache; the
+    only difference is ``REPRO_EXACT_RELEVEL``.  The relevel path is
+    bitwise-exact, so makespans and event counts must match exactly —
+    the block records how much wall time the resumed fills save over
+    paying a full progressive-filling pass per completion batch.
+    """
+    topo = build_topology("nesttree", BENCH_ENDPOINTS, t=2, u=4)
+    route_cache: dict = {}
+    workloads = {name: build_workload(name, BENCH_ENDPOINTS, seed=0).build()
+                 for name in _EXACT_BATCH_CELLS}
+
+    def run():
+        out = {}
+        for name, flows in workloads.items():
+            simulate(topo, flows, fidelity="approx",
+                     route_cache=route_cache)
+            monkeypatch.setenv("REPRO_EXACT_RELEVEL", "0")
+            off_s, off = _timed(topo, flows, route_cache, "incremental")
+            monkeypatch.setenv("REPRO_EXACT_RELEVEL", "1")
+            on_s, on = _timed(topo, flows, route_cache, "incremental")
+            out[name] = (off_s, off, on_s, on)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cells = {}
+    for name, (off_s, off, on_s, on) in results.items():
+        # the relevel path is exact: bitwise-identical, not approximate
+        assert on.makespan == off.makespan, name
+        assert on.events == off.events, name
+        assert off.allocator_stats["relevel_fills"] == 0, name
+        cells[name] = {
+            "relevel_off_seconds": off_s,
+            "relevel_on_seconds": on_s,
+            "speedup": off_s / on_s,
+            "makespan_s": on.makespan,
+            "events": on.events,
+            "full_passes": on.allocator_stats["full_passes"],
+            "warm_fills": on.allocator_stats["warm_fills"],
+            "relevel_fills": on.allocator_stats["relevel_fills"],
+        }
+
+    # independent completions (no chained identical-route release to
+    # warm-fill from) are the relevel path's home turf
+    assert cells["unstructuredhr"]["relevel_fills"] > 0
+
+    if BENCH_ENDPOINTS >= _HEADLINE_ENDPOINTS:
+        for name in _EXACT_BATCH_CELLS:
+            assert cells[name]["speedup"] >= _EXACT_BATCH_SPEEDUP, \
+                f"{name}: {cells[name]['speedup']:.2f}x"
+
+    record = _load_record()
+    if not record:
+        record = {"bench": "engine", "schema": "repro-bench-engine-v1",
+                  "cells": {}}
+    record["exact_batch"] = {
+        "endpoints": BENCH_ENDPOINTS,
+        "topology": "nesttree(2,4)",
+        "rounds": _ROUNDS,
+        "cells": cells,
+    }
+    _write_record(record)
 
 
 @pytest.mark.benchmark(group="engine")
@@ -194,6 +272,8 @@ def test_engine_paper_scale(benchmark):
                 "flows": result.num_flows,
                 "full_passes": result.allocator_stats["full_passes"],
                 "warm_fills": result.allocator_stats["warm_fills"],
+                "relevel_fills":
+                    result.allocator_stats.get("relevel_fills", 0),
             }
         return build_s, cells
 

@@ -56,6 +56,21 @@ def check_engine(doc: dict) -> str:
             assert cell["flows"] > paper["endpoints"], name
         detail += (f" + paper_scale@{paper['endpoints']} "
                    f"({', '.join(sorted(paper['cells']))})")
+    exact = doc.get("exact_batch")
+    if exact is not None:
+        assert exact["endpoints"] >= 64, exact.get("endpoints")
+        assert exact["cells"], "exact_batch block has no cells"
+        for name, cell in exact["cells"].items():
+            for field in ("relevel_off_seconds", "relevel_on_seconds",
+                          "speedup", "makespan_s", "events",
+                          "full_passes", "warm_fills", "relevel_fills"):
+                assert field in cell, (name, field)
+            assert cell["speedup"] > 0 and cell["events"] > 0, name
+        assert any(c["relevel_fills"] > 0
+                   for c in exact["cells"].values()), \
+            "exact_batch block never took the relevel path"
+        detail += (f" + exact_batch@{exact['endpoints']} "
+                   f"({', '.join(sorted(exact['cells']))})")
     return detail
 
 

@@ -38,14 +38,33 @@ finished — the dominant cost of the ``"exact"`` fidelity.
   identity is tracked by object (the simulator's route cache interns one
   array per ``(src, dst)`` pair), and pending references are pinned so
   ids cannot be recycled mid-flight.
+* **Suffix-resumed relevels** — the warm machinery extended to
+  *near-identical* states: unweighted churn whose admissions were all
+  matched by removals with identical routes, plus any number of net
+  removals (the exact-fidelity completion batch: finished flows leave,
+  chained releases reuse their predecessors' routes).  Removing flows
+  only raises water levels, and it provably cannot change any fill
+  iteration strictly below ``tmin`` — the lowest recorded level on any
+  link of a net-removed route — so a full pass's recorded per-iteration
+  increments (``full_fill`` saves them alongside the levels) can be
+  *replayed* over the handful of links whose occupancy changed and the
+  water-level loop resumed at ``tmin`` with only the flows rated above
+  it participating.  Rates, levels and the spliced sequences are
+  bitwise those of a full pass, so consecutive completion batches keep
+  resuming one another.  Any violated precondition (weighted set, net
+  admissions, stale CSR, non-increasing recorded levels, replay work
+  rivalling a full pass) falls back to the full pass;
+  ``REPRO_EXACT_RELEVEL=0`` disables the path for A/B benchmarking.
 
-The warm path is exact, not approximate: it reproduces the float values
-a full pass would produce, so ``"exact"``-fidelity makespans are
-unchanged.  Weighted flow sets always take the full pass (a matched
-route does not imply a matched weight).
+The warm and relevel paths are exact, not approximate: they reproduce
+the float values a full pass would produce, so ``"exact"``-fidelity
+makespans are unchanged.  Weighted flow sets always take the full pass
+(a matched route does not imply a matched weight).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -141,25 +160,41 @@ class ActiveSet:
 
         # warm-start state: water level at which each link saturated in
         # the last full pass (+inf = never), and the links that were set
+        # (the mask mirrors _level_links for O(batch) membership tests)
         self._levels = np.full(num_links, np.inf, dtype=np.float64)
         self._level_links = np.empty(0, dtype=np.int64)
+        self._level_mask = np.zeros(num_links, dtype=bool)
         self._level_buf = np.empty(0, dtype=np.int64)
         self._have_levels = False
+
+        # recorded per-iteration water-level increments and cumulative
+        # levels of the last fill (full pass, or spliced by a relevel);
+        # _seq_ok certifies the levels strictly increase, which the
+        # relevel's threshold search and occupancy replay both rely on
+        self._delta_seq = np.empty(0, dtype=np.float64)
+        self._level_seq = np.empty(0, dtype=np.float64)
+        self._seq_ok = False
+        self._seq_buf_d = np.empty(0, dtype=np.float64)
+        self._seq_buf_l = np.empty(0, dtype=np.float64)
+        self._relevel_enabled = \
+            os.environ.get("REPRO_EXACT_RELEVEL", "1") != "0"
 
         # membership churn since the last allocation, as append-only key
         # lists compared as sorted arrays at allocation time (cheaper
         # than per-key dict upkeep when batches have all-distinct
-        # routes).  Removed-route references are pinned until the next
-        # allocation so ids cannot be recycled mid-flight; added routes
-        # are pinned by the slot table itself.
+        # routes).  Removed routes are kept (key-aligned) until the next
+        # allocation — they pin the interned arrays so ids cannot be
+        # recycled mid-flight, and the relevel path reads the net-removed
+        # ones; added routes are pinned by the slot table itself.
         self._added_keys: list[int] = []
         self._removed_keys: list[int] = []
-        self._removed_pins: list = []
+        self._removed_routes: list[np.ndarray] = []
         self._pending_new: list[int] = []
 
         #: Allocation counters (read by benchmarks and tests).
         self.full_passes = 0
         self.warm_fills = 0
+        self.relevel_fills = 0
 
     # ---------------------------------------------------------------- views
     @property
@@ -312,7 +347,7 @@ class ActiveSet:
         assert route is not None
         self._live_nnz -= int(self._lens[slot])
         self._removed_keys.append(id(route))
-        self._removed_pins.append(route)
+        self._removed_routes.append(route)
         self._churn_units += 1
         if self.occupancy is not None:
             self.occupancy[route] -= 1
@@ -360,9 +395,9 @@ class ActiveSet:
 
         routes = self._routes
         self._removed_keys.extend(self._route_key[slots].tolist())
-        # a slice copy of the live route list pins every removed route's
-        # array (superset is fine; cleared at the next allocation)
-        self._removed_pins.append(routes[:self._m])
+        # key-aligned route references: they pin the removed arrays until
+        # the next allocation and feed the relevel path's dirty-link set
+        self._removed_routes.extend([routes[s] for s in slots.tolist()])
 
         self._churn_units += k
         if self.occupancy is not None:
@@ -418,23 +453,44 @@ class ActiveSet:
         self._csr_len[route] = cl + 1
         self._counts_base[route] += 1.0
 
-    def _multiset_unchanged(self) -> bool:
-        """True when the added and removed route keys since the last
-        allocation form the same multiset (warm-path eligibility)."""
+    def _net_removed_routes(self) -> list[np.ndarray] | None:
+        """The distinct routes removed more often than added since the
+        last allocation, or ``None`` when any route was *net added*.
+
+        ``[]`` therefore means the added and removed keys form the same
+        multiset (the plain warm path's eligibility); a non-empty list is
+        the relevel path's input — the only routes whose links' occupancy
+        shrank.  Multiplicity beyond one does not matter downstream (only
+        the union of dirty links is used), so distinct routes suffice.
+        """
         added = self._added_keys
         removed = self._removed_keys
-        if len(added) != len(removed):
-            return False
-        if not added:
-            return True
-        a = np.sort(np.array(added, dtype=np.int64))
-        r = np.sort(np.array(removed, dtype=np.int64))
-        return bool((a == r).all())
+        if len(added) > len(removed):
+            return None
+        if not removed:
+            return []
+        ra, rc = np.unique(np.asarray(removed, dtype=np.int64),
+                           return_counts=True)
+        if added:
+            aa, ac = np.unique(np.asarray(added, dtype=np.int64),
+                               return_counts=True)
+            pos = np.searchsorted(ra, aa)
+            if bool((pos >= ra.shape[0]).any()) \
+                    or not bool((ra[pos] == aa).all()) \
+                    or bool((ac > rc[pos]).any()):
+                return None
+            rc = rc.copy()
+            rc[pos] -= ac
+        net_keys = ra[rc > 0]
+        if net_keys.shape[0] == 0:
+            return []
+        by_key = dict(zip(self._removed_keys, self._removed_routes))
+        return [by_key[key] for key in net_keys.tolist()]
 
     def _clear_churn(self) -> None:
         self._added_keys.clear()
         self._removed_keys.clear()
-        self._removed_pins.clear()
+        self._removed_routes.clear()
         self._pending_new.clear()
 
     def _ensure_slot_arr(self, fid: int) -> None:
@@ -452,10 +508,11 @@ class ActiveSet:
     def allocate(self, stats: dict | None = None) -> np.ndarray:
         """Assign exact max-min rates to every active flow.
 
-        Takes the O(changed) warm path when eligible (see module
-        docstring), the CSR-backed full pass otherwise.  ``stats``, when a
-        dict, receives ``iterations`` (0 on the warm path) and ``warm``.
-        Returns the dense rates view.
+        Takes the O(changed) warm path when the route multiset is
+        unchanged, the suffix-resumed relevel when it shrank (see module
+        docstring), and the CSR-backed full pass otherwise.  ``stats``,
+        when a dict, receives ``iterations`` (0 on the warm path),
+        ``warm`` and ``relevel``.  Returns the dense rates view.
         """
         if self._m == 0:
             self._clear_churn()
@@ -463,15 +520,29 @@ class ActiveSet:
                 stats["iterations"] = 0
                 stats["warm"] = False
             return self._rates[:0]
-        if (self._have_levels and not self._weighted
-                and self._multiset_unchanged() and self._warm_fill()):
-            self.warm_fills += 1
-            self._churn_units = 0
-            self._clear_churn()
-            if stats is not None:
-                stats["iterations"] = 0
-                stats["warm"] = True
-            return self._rates[:self._m]
+        if self._have_levels and not self._weighted:
+            net = self._net_removed_routes()
+            if net is not None:
+                if not net:
+                    if self._warm_fill():
+                        self.warm_fills += 1
+                        self._churn_units = 0
+                        self._clear_churn()
+                        if stats is not None:
+                            stats["iterations"] = 0
+                            stats["warm"] = True
+                        return self._rates[:self._m]
+                elif self._relevel_enabled:
+                    iterations = self._relevel_fill(net)
+                    if iterations >= 0:
+                        self.relevel_fills += 1
+                        self._churn_units = 0
+                        self._clear_churn()
+                        if stats is not None:
+                            stats["iterations"] = iterations
+                            stats["warm"] = True
+                            stats["relevel"] = True
+                        return self._rates[:self._m]
         iterations = self._full_pass()
         self.full_passes += 1
         self._clear_churn()
@@ -494,6 +565,115 @@ class ActiveSet:
         return bool(self.kernels.warm_fill(
             self._levels, self._entries, self._starts, self._lens,
             self._slot_arr, pending, self._rates))
+
+    def _relevel_fill(self, net_routes: list[np.ndarray]) -> int:
+        """Resume the recorded fill above the churn's water threshold.
+
+        ``net_routes`` are the net-removed routes (see
+        :meth:`_net_removed_routes`; non-empty).  Returns the suffix
+        iteration count on success, ``-1`` to fall back to a full pass.
+        On success, rates, levels and the recorded sequences are exactly
+        what a full pass would have produced, so relevels compose across
+        consecutive events.
+        """
+        if not (self._csr_ok and self._seq_ok and self._caps_all_positive):
+            return -1
+        k_seq = self._level_seq.shape[0]
+        if k_seq == 0:
+            return -1
+        m = self._m
+        dirty = net_routes[0] if len(net_routes) == 1 \
+            else np.concatenate(net_routes)
+        # every removed flow was rated, so its bottleneck link holds a
+        # finite recorded level: tmin is finite and positive
+        tmin = float(self._levels[dirty].min())
+        if not 0.0 < tmin < np.inf:
+            return -1
+        k = int(np.searchsorted(self._level_seq, tmin, side="left"))
+        if k == 0:
+            # the threshold undercuts the first recorded level: the whole
+            # fill would replay, and a full pass is strictly cheaper
+            return -1
+
+        # rate the pending admissions from the recorded levels: each was
+        # matched by a removal with the identical route, so the minimum
+        # recorded level along it is the retired twin's exact rate
+        # (+inf = bottlenecked only above the threshold; resolved below)
+        if self._pending_new:
+            slots = self._slot_arr[
+                np.asarray(self._pending_new, dtype=np.int64)]
+            slots = slots[slots >= 0]
+            if slots.shape[0]:
+                seg_starts = self._starts[slots]
+                seg_lens = self._lens[slots]
+                vals = self._levels[self._entries[_slices_concat(
+                    seg_starts, seg_starts + seg_lens)]]
+                offsets = np.zeros(slots.shape[0], dtype=np.int64)
+                np.cumsum(seg_lens[:-1], out=offsets[1:])
+                mins = np.minimum.reduceat(vals, offsets)
+                if bool((mins <= 0.0).any()):
+                    return -1
+                self._rates[slots] = mins
+
+        # flows rated at or above the threshold are re-levelled; all
+        # others froze strictly below it and keep their (final) rates
+        participants = np.flatnonzero(self._rates[:m] >= tmin)
+        npart = int(participants.shape[0])
+        if npart:
+            pstarts = self._starts[participants]
+            plens = self._lens[participants]
+            plinks = self._entries[_slices_concat(pstarts,
+                                                  pstarts + plens)]
+            suffix = np.unique(np.concatenate((plinks, dirty)))
+        else:
+            plinks = None
+            suffix = np.unique(dirty)
+        # cost guard: the replay walks every suffix CSR row plus k
+        # iterations per suffix link — past the live incidence size a
+        # full pass is the cheaper option
+        if int(self._csr_len[suffix].sum()) + k * suffix.shape[0] \
+                > self._live_nnz:
+            return -1
+
+        counts = self._counts
+        counts[suffix] = 0.0
+        if plinks is not None:
+            np.add.at(counts, plinks, 1.0)
+        act = suffix[counts[suffix] > 0.0]
+        # every level written below must be covered by the next full
+        # pass's inf-reset, including links saturating for the first time
+        newly = suffix[~self._level_mask[suffix]]
+        if newly.shape[0]:
+            self._level_links = np.concatenate((self._level_links, newly))
+            self._level_mask[newly] = True
+        self._levels[suffix] = np.inf
+        level0 = float(self._level_seq[k - 1])
+        if self._level_buf.shape[0] < act.shape[0]:
+            self._level_buf = np.empty(act.shape[0], dtype=np.int64)
+        seq_d = np.empty(act.shape[0] + 1, dtype=np.float64)
+        seq_l = np.empty(act.shape[0] + 1, dtype=np.float64)
+        frozen = self._slot_flag  # borrowed scratch, reset on exit
+        try:
+            status, iterations, _ = self.kernels.relevel_fill(
+                self.capacities, self._sat_floor, self._cap_rem, counts,
+                self._levels, self._csr_start, self._csr_len,
+                self._csr_flows, self._entries, self._starts, self._lens,
+                self._slot_arr, self._rates, frozen, act,
+                self._delta_seq, self._level_seq, k, level0, tmin, npart,
+                self._level_buf, seq_d, seq_l)
+        finally:
+            frozen[:m] = False
+        if status != 0:
+            # partially written rates/levels are fine: the full pass this
+            # falls back to rewrites every rate and resets every level in
+            # _level_links, which covers the whole suffix
+            return -1
+        self._delta_seq = np.concatenate(
+            (self._delta_seq[:k], seq_d[:iterations]))
+        self._level_seq = np.concatenate(
+            (self._level_seq[:k], seq_l[:iterations]))
+        self._seq_ok = bool((np.diff(self._level_seq) > 0.0).all())
+        return iterations
 
     def _csr_rebuild(self, weights: np.ndarray | None,
                      slack: bool) -> None:
@@ -595,6 +775,9 @@ class ActiveSet:
         self._levels[self._level_links] = np.inf
         if self._level_buf.shape[0] < act.shape[0]:
             self._level_buf = np.empty(act.shape[0], dtype=np.int64)
+        if self._seq_buf_d.shape[0] < act.shape[0] + 1:
+            self._seq_buf_d = np.empty(act.shape[0] + 1, dtype=np.float64)
+            self._seq_buf_l = np.empty(act.shape[0] + 1, dtype=np.float64)
 
         frozen = self._slot_flag  # borrowed scratch, reset on exit
         try:
@@ -603,7 +786,8 @@ class ActiveSet:
                 self._levels, self._csr_start, self._csr_len,
                 self._csr_flows, self._entries, self._starts, self._lens,
                 self._slot_arr, self._rates, frozen, self._weights,
-                self._weighted, m, act, self._level_buf)
+                self._weighted, m, act, self._level_buf,
+                self._seq_buf_d, self._seq_buf_l)
         finally:
             frozen[:m] = False
 
@@ -611,8 +795,17 @@ class ActiveSet:
             raise SimulationError("allocation left flows without a bottleneck")
         if status == 2:  # pragma: no cover - progressive filling terminates
             raise SimulationError("progressive filling failed to converge")
+        self._level_mask[self._level_links] = False
         self._level_links = self._level_buf[:nsat].copy()
+        self._level_mask[self._level_links] = True
         self._have_levels = not self._weighted
+        if self._weighted:
+            self._seq_ok = False
+        else:
+            self._delta_seq = self._seq_buf_d[:iterations].copy()
+            self._level_seq = self._seq_buf_l[:iterations].copy()
+            self._seq_ok = bool(
+                (np.diff(self._level_seq) > 0.0).all())
         return iterations
 
     # --------------------------------------------------- rebuild baseline
@@ -641,6 +834,7 @@ class ActiveSet:
         self._rates[:self._m] = rates
         # external rates invalidate the recorded water levels
         self._have_levels = False
+        self._seq_ok = False
 
     # ------------------------------------------------------------- plumbing
     def _grow_slots(self) -> None:

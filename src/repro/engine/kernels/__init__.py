@@ -76,9 +76,9 @@ def default_name() -> str:
 def get(name: str | None = None):
     """Resolve a kernel backend module by name (``None`` = default).
 
-    The returned module exposes ``full_fill`` and ``warm_fill`` (see
-    :mod:`repro.engine.kernels.numpy_fill` for the contract) plus a
-    ``NAME`` attribute.
+    The returned module exposes ``full_fill``, ``warm_fill`` and
+    ``relevel_fill`` (see :mod:`repro.engine.kernels.numpy_fill` for the
+    contract) plus a ``NAME`` attribute.
     """
     if name is None:
         name = default_name()

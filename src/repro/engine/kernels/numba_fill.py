@@ -43,7 +43,8 @@ if AVAILABLE:
                    csr_start, csr_len, csr_flows,
                    entries, starts, lens, slot_arr,
                    rates, frozen, weights, weighted, m, act,
-                   level_links_out):  # pragma: no cover - needs [fast]
+                   level_links_out, delta_seq_out,
+                   level_seq_out):  # pragma: no cover - needs [fast]
         inf = np.inf
         n_act = act.shape[0]
         act_w = act.copy()
@@ -64,6 +65,8 @@ if AVAILABLE:
                 if v < delta:
                     delta = v
             level += delta
+            delta_seq_out[iterations - 1] = delta
+            level_seq_out[iterations - 1] = level
             for i in range(n_act):
                 link = act_w[i]
                 cap_rem[link] = cap_rem[link] - delta * counts[link]
@@ -164,18 +167,166 @@ if AVAILABLE:
             rates[slot] = r
         return True
 
+    @njit(cache=True)
+    def _relevel_fill(capacities, sat_floor, cap_rem, counts, levels,
+                      csr_start, csr_len, csr_flows,
+                      entries, starts, lens, slot_arr,
+                      rates, frozen, act, delta_seq, level_seq, k,
+                      level0, tmin, remaining, level_links_out,
+                      delta_seq_out,
+                      level_seq_out):  # pragma: no cover - needs [fast]
+        inf = np.inf
+        n_act = act.shape[0]
+        # replay the k prefix iterations per participant-carrying link:
+        # sorted row rates + a two-pointer over the (strictly increasing)
+        # recorded levels give each iteration's occupancy, and the
+        # residual capacity rounds twice per iteration exactly like the
+        # numpy backend's vectorised chain
+        for i in range(n_act):
+            link = act[i]
+            rs = csr_start[link]
+            rl = csr_len[link]
+            row = np.empty(rl, dtype=np.float64)
+            nrow = 0
+            for j in range(rl):
+                fid = csr_flows[rs + j]
+                if fid < 0:
+                    continue
+                row[nrow] = rates[slot_arr[fid]]
+                nrow += 1
+            rowv = row[:nrow]
+            rowv.sort()
+            cr = capacities[link]
+            ptr = 0
+            for it in range(k):
+                while ptr < nrow and rowv[ptr] < level_seq[it]:
+                    ptr += 1
+                cr = cr - delta_seq[it] * np.float64(nrow - ptr)
+            if cr <= sat_floor[link]:
+                return 3, 0, 0
+            cap_rem[link] = cr
+
+        act_w = act.copy()
+        sat_flags = np.empty(n_act, dtype=np.bool_)
+        level = level0
+        iterations = 0
+        nsat = 0
+        for _ in range(n_act + 1):
+            if remaining == 0:
+                return 0, iterations, nsat
+            if n_act == 0:
+                return 1, iterations, nsat
+            iterations += 1
+            delta = inf
+            for i in range(n_act):
+                v = cap_rem[act_w[i]] / counts[act_w[i]]
+                if v < delta:
+                    delta = v
+            level += delta
+            delta_seq_out[iterations - 1] = delta
+            level_seq_out[iterations - 1] = level
+            for i in range(n_act):
+                link = act_w[i]
+                cap_rem[link] = cap_rem[link] - delta * counts[link]
+            any_sat = False
+            for i in range(n_act):
+                link = act_w[i]
+                if cap_rem[link] <= sat_floor[link]:
+                    any_sat = True
+                    break
+            floor_add = 0.0
+            if not any_sat:
+                # numerically the minimum itself must have saturated
+                crmin = inf
+                for i in range(n_act):
+                    if cap_rem[act_w[i]] < crmin:
+                        crmin = cap_rem[act_w[i]]
+                floor_add = crmin
+            cand_total = 0
+            for i in range(n_act):
+                link = act_w[i]
+                sat = cap_rem[link] <= floor_add + sat_floor[link] \
+                    if not any_sat else cap_rem[link] <= sat_floor[link]
+                sat_flags[i] = sat
+                if sat:
+                    levels[link] = level
+                    level_links_out[nsat] = link
+                    nsat += 1
+                    cand_total += csr_len[link]
+
+            cand = np.empty(cand_total, dtype=np.int64)
+            pos = 0
+            for i in range(n_act):
+                if not sat_flags[i]:
+                    continue
+                link = act_w[i]
+                row_start = csr_start[link]
+                for j in range(csr_len[link]):
+                    cand[pos] = csr_flows[row_start + j]
+                    pos += 1
+            cand.sort()
+            prev = np.int64(-1)
+            first = True
+            for i in range(cand_total):
+                fid = cand[i]
+                if fid < 0 or (not first and fid == prev):
+                    continue
+                prev = fid
+                first = False
+                slot = slot_arr[fid]
+                if frozen[slot]:
+                    continue
+                if rates[slot] < tmin:
+                    # froze inside the replayed prefix; rate is final
+                    continue
+                frozen[slot] = True
+                rates[slot] = level
+                remaining -= 1
+                s = starts[slot]
+                for j in range(lens[slot]):
+                    counts[entries[s + j]] -= 1.0
+
+            keep_n = 0
+            for i in range(n_act):
+                link = act_w[i]
+                if (not sat_flags[i]) and counts[link] > _COUNT_TOL:
+                    act_w[keep_n] = link
+                    keep_n += 1
+            n_act = keep_n
+        if remaining == 0:
+            return 0, iterations, nsat
+        return 2, iterations, nsat
+
     def full_fill(capacities, sat_floor, cap_rem, counts, levels,
                   csr_start, csr_len, csr_flows,
                   entries, starts, lens, slot_arr,
                   rates, frozen, weights, weighted, m, act,
-                  level_links_out):  # pragma: no cover - needs [fast]
+                  level_links_out, delta_seq_out,
+                  level_seq_out):  # pragma: no cover - needs [fast]
         return _full_fill(capacities, sat_floor, cap_rem, counts, levels,
                           csr_start, csr_len, csr_flows,
                           entries, starts, lens, slot_arr,
                           rates, frozen, weights, bool(weighted),
-                          np.int64(m), act, level_links_out)
+                          np.int64(m), act, level_links_out,
+                          delta_seq_out, level_seq_out)
 
     def warm_fill(levels, entries, starts, lens, slot_arr, pending,
                   rates):  # pragma: no cover - needs [fast]
         return _warm_fill(levels, entries, starts, lens, slot_arr,
                           pending, rates)
+
+    def relevel_fill(capacities, sat_floor, cap_rem, counts, levels,
+                     csr_start, csr_len, csr_flows,
+                     entries, starts, lens, slot_arr,
+                     rates, frozen, act, delta_seq, level_seq, k,
+                     level0, tmin, remaining, level_links_out,
+                     delta_seq_out,
+                     level_seq_out):  # pragma: no cover - needs [fast]
+        return _relevel_fill(capacities, sat_floor, cap_rem, counts,
+                             levels, csr_start, csr_len, csr_flows,
+                             entries, starts, lens, slot_arr,
+                             rates, frozen, act, delta_seq, level_seq,
+                             np.int64(k), np.float64(level0),
+                             np.float64(tmin), np.int64(remaining),
+                             level_links_out, delta_seq_out,
+                             level_seq_out)

@@ -29,8 +29,8 @@ class SimulationResult:
     #: with a :class:`repro.obs.MetricsCollector`; ``None`` otherwise.
     metrics: dict | None = None
     #: Which bandwidth allocator ran and how its work split
-    #: (``{"allocator", "full_passes", "warm_fills"}``); ``None`` for a
-    #: run that never allocated (empty flow set).
+    #: (``{"allocator", "full_passes", "warm_fills", "relevel_fills"}``);
+    #: ``None`` for a run that never allocated (empty flow set).
     allocator_stats: dict | None = None
     #: Transient-fault recovery counters (``fault_events``,
     #: ``flows_rerouted``, ``flows_parked``, ``flows_recovered``,

@@ -489,11 +489,27 @@ def simulate(topology: Topology, flows: FlowSet, *,
         remaining[done_ids] = 0.0
         released = 0
         if fidelity == "exact":
-            # rates are reallocated before any released flow's rate is
-            # read, so the whole completion batch processes vectorised
             completion[done_ids] = now
-            active.remove_many(done_ids)
-            released = release_batch(done_ids, now)
+            if per_flow and not adaptive:
+                # the historical per-event walk (REPRO_EVENT_BATCH=0):
+                # retire and release flow by flow.  Rates are identical
+                # to the batched path — exact mode reallocates from the
+                # membership alone before any rate is read — which the
+                # equivalence suite asserts bitwise.  Adaptive routing
+                # keeps the batched-release admission order either way:
+                # its route choices feed on occupancy, and release_batch
+                # already admits adaptively per flow.
+                for fid in done_ids.tolist():
+                    active.remove(fid)
+                    for succ in flows.successors(fid).tolist():
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            released += inject(succ, now, 0.0)
+            else:
+                # rates are reallocated before any released flow's rate
+                # is read, so the completion batch processes vectorised
+                active.remove_many(done_ids)
+                released = release_batch(done_ids, now)
         elif per_flow:
             for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
                 completion[fid] = now
@@ -527,7 +543,8 @@ def simulate(topology: Topology, flows: FlowSet, *,
         metrics=snap,
         allocator_stats={"allocator": allocator,
                          "full_passes": active.full_passes,
-                         "warm_fills": active.warm_fills},
+                         "warm_fills": active.warm_fills,
+                         "relevel_fills": active.relevel_fills},
     )
 
 
@@ -697,7 +714,8 @@ def _simulate_rebuild(topology: Topology, flows: FlowSet,
         metrics=snap,
         allocator_stats={"allocator": "rebuild",
                          "full_passes": reallocations,
-                         "warm_fills": 0},
+                         "warm_fills": 0,
+                         "relevel_fills": 0},
     )
 
 

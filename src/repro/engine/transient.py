@@ -459,8 +459,18 @@ def simulate_transient(topology: Topology, flows: FlowSet,
         released = 0
         if fidelity == "exact":
             completion[done_ids] = now
-            active.remove_many(done_ids)
-            released = release_batch(done_ids, now)
+            if per_flow and not adaptive:
+                # historical per-event walk (REPRO_EVENT_BATCH=0); rates
+                # are identical to the batched path — see simulator.py
+                for fid in done_ids.tolist():
+                    active.remove(fid)
+                    for succ in flows.successors(fid).tolist():
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            released += inject(succ, now, 0.0)
+            else:
+                active.remove_many(done_ids)
+                released = release_batch(done_ids, now)
         elif per_flow:
             for fid, rate in zip(done_ids.tolist(), done_rates.tolist()):
                 completion[fid] = now
@@ -495,6 +505,7 @@ def simulate_transient(topology: Topology, flows: FlowSet,
         metrics=snap,
         allocator_stats={"allocator": "incremental",
                          "full_passes": active.full_passes,
-                         "warm_fills": active.warm_fills},
+                         "warm_fills": active.warm_fills,
+                         "relevel_fills": active.relevel_fills},
         transient=dict(counters),
     )

@@ -15,7 +15,10 @@ cell submissions into the *minimum* number of simulations.
 * **Keep-going errors** — each batch runs with ``keep_going=True``; a
   failing cell resolves its waiters with a typed error document and is
   *not* stored (failures may be transient), while the rest of the batch
-  completes normally.
+  completes normally.  Settled error documents are retained in a bounded
+  in-memory LRU so a client that polls *after* the batch settles still
+  gets its ``{"status": "error", ...}`` answer instead of a 404;
+  resubmitting the digest evicts the cached error and re-simulates.
 
 Simulations run in a worker thread (``run_sweep`` is synchronous and may
 itself fork a worker pool), so the asyncio front-end keeps accepting and
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+from collections import OrderedDict
 from typing import Iterable
 
 from repro.errors import ConfigError, ReproError
@@ -42,6 +46,9 @@ _FIDELITIES = ("exact", "approx")
 
 #: Cells drained into one simulation batch.
 DEFAULT_BATCH_MAX = 32
+
+#: Settled error documents retained for late pollers (bounded LRU).
+ERROR_DOCS_MAX = 256
 
 
 class Broker:
@@ -84,6 +91,10 @@ class Broker:
         self._scheduler = FairScheduler(capacity, weights=weights)
         #: digest -> future of every queued or in-flight cell
         self._futures: dict[str, asyncio.Future] = {}
+        #: digest -> settled ``{"status": "error", ...}`` document, kept
+        #: so pollers arriving after the batch settled still get their
+        #: answer (errors are never persisted to the store)
+        self._errors: OrderedDict[str, dict] = OrderedDict()
         self._wake = asyncio.Event()
         self._drain_task: asyncio.Task | None = None
         self.counters = {"requests": 0, "store_hits": 0, "deduped": 0,
@@ -124,13 +135,20 @@ class Broker:
         novel and the bounded queue is saturated; store hits and
         in-flight duplicates never consume queue slots, so repeats stay
         answerable even under full backpressure.
+
+        A digest whose last run ended in a cached error document is
+        treated as novel again (failures may be transient): the cached
+        error is evicted and the cell re-enqueued.  The store check
+        *reads* the record rather than testing existence, so a corrupt
+        on-disk record degrades to a re-simulation here instead of a
+        ``KeyError`` at result time.
         """
         self.counters["requests"] += 1
         digest = self.digest_of(cell)
         if digest in self._futures:
             self.counters["deduped"] += 1
             return digest
-        if digest in self.store:
+        if self.store.get(digest) is not None:
             self.counters["store_hits"] += 1
             return digest
         try:
@@ -138,6 +156,7 @@ class Broker:
         except ReproError:
             self.counters["rejected"] += 1
             raise
+        self._errors.pop(digest, None)  # retrying a settled failure
         self.counters["enqueued"] += 1
         self._futures[digest] = asyncio.get_running_loop().create_future()
         self._wake.set()
@@ -151,13 +170,17 @@ class Broker:
     # -------------------------------------------------------------- results
 
     def peek(self, digest: str) -> dict | None:
-        """Non-blocking status: a done/pending response document, or
-        ``None`` for a digest this broker has never seen."""
+        """Non-blocking status: a done/pending/error response document,
+        or ``None`` for a digest this broker has never seen."""
         fut = self._futures.get(digest)
         if fut is not None:
             if fut.done():
                 return fut.result()
             return {"status": "pending", "digest": digest}
+        error = self._errors.get(digest)
+        if error is not None:
+            self._errors.move_to_end(digest)
+            return dict(error)
         doc = self.store.get(digest)
         if doc is not None:
             return dict(doc, status="done")
@@ -174,6 +197,10 @@ class Broker:
         fut = self._futures.get(digest)
         if fut is not None:
             return await asyncio.shield(fut)
+        error = self._errors.get(digest)
+        if error is not None:
+            self._errors.move_to_end(digest)
+            return dict(error)
         doc = self.store.get(digest)
         if doc is None:
             raise KeyError(digest)
@@ -190,6 +217,7 @@ class Broker:
                       "capacity": self._scheduler.capacity,
                       "backlog": self._scheduler.backlog()},
             "inflight": len(self._futures),
+            "error_docs": len(self._errors),
             "store": {"records": len(self.store), **self.store.stats},
         }
 
@@ -265,6 +293,7 @@ class Broker:
                                         self.meta, doc)
                 self.counters["simulated"] += 1
                 response = dict(stored, status="done")
+                self._errors.pop(digest, None)  # success supersedes
             else:
                 error = failures.get(key) or (doc if doc else {
                     "error": "SimulationError",
@@ -272,5 +301,12 @@ class Broker:
                 self.counters["errors"] += 1
                 response = {"status": "error", "digest": digest,
                             "error": error}
+                # keep the settled error answerable for late pollers;
+                # the future is popped above, so without this a poll
+                # arriving after settlement would read as "never seen"
+                self._errors[digest] = response
+                self._errors.move_to_end(digest)
+                while len(self._errors) > ERROR_DOCS_MAX:
+                    self._errors.popitem(last=False)
             if fut is not None and not fut.done():
                 fut.set_result(response)

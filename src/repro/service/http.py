@@ -17,6 +17,8 @@ Error mapping is typed end to end:
 :class:`~repro.errors.ProtocolError` → 400 (the body names the bad
 field), :class:`~repro.errors.QueueFullError` → 429 with the queue
 ``capacity`` and ``depth`` so clients can back off deliberately.
+Malformed framing — a non-numeric, negative, or conflicting-duplicate
+``Content-Length`` — is a 400 before the body is read, never a 500.
 
 Connections are one-request (``Connection: close``): the service's unit
 of work is a simulation measured in seconds, so connection reuse buys
@@ -111,18 +113,28 @@ class ServiceServer:
                 return 400, {"error": "ProtocolError",
                              "message": "malformed request line"}
             method, target, _ = parts
-            length = 0
+            length: int | None = None
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
                 if name.strip().lower() == "content-length":
-                    try:
-                        length = int(value.strip())
-                    except ValueError:
+                    # strict non-negative decimal only: int() would also
+                    # accept "+5", "-5" or "1_0", and a negative length
+                    # must never reach readexactly()
+                    value = value.strip()
+                    if not (value.isascii() and value.isdigit()):
                         return 400, {"error": "ProtocolError",
                                      "message": "bad Content-Length"}
+                    parsed = int(value)
+                    if length is not None and parsed != length:
+                        return 400, {"error": "ProtocolError",
+                                     "message": "conflicting duplicate "
+                                                "Content-Length headers"}
+                    length = parsed
+            if length is None:
+                length = 0
             if length > MAX_BODY_BYTES:
                 return 413, {"error": "ProtocolError",
                              "message": f"body exceeds {MAX_BODY_BYTES} "

@@ -115,10 +115,20 @@ class FairScheduler:
                 best = tenant
         if best is None:
             return None
-        item = self._lanes[best].popleft()
+        lane = self._lanes[best]
+        item = lane.popleft()
         self._passes[best] += self._stride(best)
         self._clock = max(self._clock, self._passes[best])
         self._depth -= 1
+        if not lane:
+            # prune the drained lane: a long-lived service sees an
+            # unbounded stream of tenant names, and every empty lane
+            # would otherwise stay in the scan above forever.  Dropping
+            # the pass value too is behaviour-preserving — the clock is
+            # >= every issued pass, so a rejoining tenant restarts from
+            # the clock either way (idle time never banks credit).
+            del self._lanes[best]
+            del self._passes[best]
         return best, item
 
     def drain(self, limit: int | None = None) -> Iterator[tuple[str, Any]]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import warnings
 from pathlib import Path
 
@@ -99,10 +100,35 @@ class ResultStore:
     and clean up — any torn state a crashed predecessor left behind.
     """
 
+    #: Age (seconds) past which an orphaned ``*.tmp`` is swept at open.
+    #: Generous against any live writer: an in-flight put holds its temp
+    #: file for milliseconds, not minutes.
+    TMP_STALE_S = 300.0
+
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.stats = {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0,
+                      "swept": 0}
+        self.stats["swept"] = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove temp files a crashed writer left behind; return count.
+
+        Only files older than :data:`TMP_STALE_S` go — a concurrent
+        broker's in-flight write (same fanout directory, younger file)
+        is left for its own ``os.replace`` to consume.
+        """
+        cutoff = time.time() - self.TMP_STALE_S
+        swept = 0
+        for tmp in self.root.glob("??/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    os.remove(tmp)
+                    swept += 1
+            except OSError:
+                pass  # raced another sweeper or the owning writer
+        return swept
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"

@@ -58,7 +58,7 @@ def assert_same_allocator_work(a: SimulationResult,
     backends must not.
     """
     ctx = f"[{label_a} vs {label_b}]"
-    for key in ("full_passes", "warm_fills"):
+    for key in ("full_passes", "warm_fills", "relevel_fills"):
         assert a.allocator_stats[key] == b.allocator_stats[key], \
             (f"{ctx} allocator_stats[{key!r}] "
              f"{a.allocator_stats[key]} != {b.allocator_stats[key]}")

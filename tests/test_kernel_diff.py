@@ -179,6 +179,112 @@ class TestChurnProperty:
                             f"(numpy vs {backend})")
 
 
+class TestRelevelProperty:
+    """Hypothesis: near-identical churn — the suffix-resume relevel's
+    territory — stays bitwise on the full pass under every backend.
+
+    Each script batch-adds flows from an interned route pool, then runs
+    rounds of removal bursts with optional *matched* re-adds (the same
+    route array object, so the multiset of route keys never gains a
+    member).  That is exactly the state PR 10's relevel path claims to
+    resume bitwise; a twin ActiveSet with the path disabled provides the
+    full-pass oracle at every allocation.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1),
+           n_flows=st.integers(12, 48),
+           rounds=st.integers(3, 10),
+           family=st.sampled_from(_FAMILIES))
+    def test_near_identical_churn_bitwise(self, seed, n_flows, rounds,
+                                          family):
+        topo = _family_topo(family)
+        caps = topo.links.capacities
+        rng = np.random.default_rng(seed)
+        n = topo.num_endpoints
+
+        route_pool: dict = {}
+
+        def draw_route():
+            s = int(rng.integers(n))
+            d = int(rng.integers(n))
+            while d == s:
+                d = int(rng.integers(n))
+            route = route_pool.get((s, d))
+            if route is None:
+                route = np.asarray(topo.route(s, d), dtype=np.int64)
+                route_pool[(s, d)] = route
+            return route
+
+        # one churn script: seed adds, then removal bursts with matched
+        # re-adds (never more re-adds than removals of that same route)
+        script: list[tuple] = [("add", fid, draw_route())
+                               for fid in range(n_flows)]
+        alive = {fid: route for _, fid, route in script}
+        next_fid = n_flows
+        script.append(("allocate",))
+        for _ in range(rounds):
+            burst = min(len(alive) - 1, int(rng.integers(1, 5)))
+            if burst <= 0:
+                break
+            removed: list = []
+            for fid in rng.choice(sorted(alive), size=burst,
+                                  replace=False).tolist():
+                script.append(("remove", int(fid)))
+                removed.append(alive.pop(int(fid)))
+            for route in removed:
+                if rng.random() < 0.4:   # matched re-admission
+                    script.append(("add", next_fid, route))
+                    alive[next_fid] = route
+                    next_fid += 1
+            script.append(("allocate",))
+
+        def replay(enabled: bool) -> list[np.ndarray]:
+            active = ActiveSet(caps)
+            active._relevel_enabled = enabled
+            log: list[np.ndarray] = []
+            for op in script:
+                if op[0] == "add":
+                    active.add(op[1], op[2])
+                elif op[0] == "remove":
+                    active.remove(op[1])
+                elif active.size:
+                    rates = active.allocate()
+                    # slot order depends only on the script, so rates
+                    # line up positionally between the twin replays
+                    log.append(np.column_stack(
+                        (active.flow_ids, rates)).copy())
+            if enabled:
+                log.append(np.array([[active.relevel_fills, 0.0]]))
+            return log
+
+        per_backend: dict[str, list] = {}
+        for backend in kernels.available():
+            with kernels.use(backend):
+                fast = replay(True)
+                slow = replay(False)
+            per_backend[backend] = fast
+            for i, (a, b) in enumerate(zip(fast[:-1], slow)):
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"[{backend}] relevel diverges from "
+                                  f"full pass at allocation {i}")
+        base = per_backend["numpy"]
+        for backend, log in per_backend.items():
+            for i, (a, b) in enumerate(zip(base, log)):
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"rates diverge at allocation {i} "
+                                  f"(numpy vs {backend})")
+
+    def test_property_exercises_relevel(self, small_nesttree):
+        """Meta-check: the property's churn shape actually takes the
+        suffix-resume path (guards against a vacuous suite)."""
+        flows = build_workload("unstructuredhr",
+                               small_nesttree.num_endpoints, seed=1).build()
+        result, _ = run_all_backends(
+            lambda: simulate(small_nesttree, flows, fidelity="exact"))
+        assert result.allocator_stats["relevel_fills"] > 0
+
+
 class TestDispatcher:
     def test_numpy_always_available(self):
         assert "numpy" in kernels.available()
